@@ -1,0 +1,94 @@
+"""Ablation: off-course outlier filtering on versus off.
+
+Section 3.1 argues that accepting an off-course position "would drastically
+distort the resulting trajectory representation" and that "an outlier
+breaking the subsequence of instantaneous pause events could prevent
+characterization of a long-term stop, and instead yield two successive such
+stops very close to each other".
+
+The ablation disables the filter (by making its thresholds unreachable) on
+a noisy stream with injected GPS jumps and compares: (a) the approximation
+error of the resulting synopses, and (b) the number of critical points
+(spurious turns/speed changes at every jump inflate it).
+"""
+
+import pytest
+
+from harness import benchmark_world, per_vessel_synopses, record_result
+from repro.reconstruct import fleet_rmse
+from repro.simulator import FleetSimulator, NoiseModel
+from repro.tracking import TrackingParameters
+
+#: Aggressive outlier injection: ~2 % of fixes jump 1-4 km off course.
+NOISY = NoiseModel(
+    gps_sigma_meters=8.0,
+    outlier_probability=0.02,
+    outlier_min_meters=1000.0,
+    outlier_max_meters=4000.0,
+)
+
+FILTER_ON = TrackingParameters()
+#: The filter never fires: an off-course point needs an implied speed above
+#: 10,000x the mean, i.e. never.
+FILTER_OFF = TrackingParameters(
+    outlier_speed_factor=10_000.0, outlier_min_speed_knots=100_000.0
+)
+
+_results: dict[str, dict] = {}
+
+
+def _noisy_stream():
+    simulator = FleetSimulator(
+        benchmark_world(), seed=77, duration_seconds=8 * 3600, noise=NOISY
+    )
+    fleet = simulator.build_mixed_fleet(60)
+    return simulator.positions(fleet)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_report():
+    """Write the ablation comparison."""
+    yield
+    if len(_results) < 2:
+        return
+    lines = ["variant      avg_rmse_m  max_rmse_m  critical_points"]
+    for label, stats in sorted(_results.items()):
+        lines.append(
+            f"{label:<11}  {stats['avg']:>10.2f}  {stats['max']:>10.2f}  "
+            f"{stats['critical_points']:>15}"
+        )
+    record_result("ablation_outlier_filter", lines)
+    # Disabling the filter lets injected jumps pollute the synopsis: more
+    # (spurious) critical points and no accuracy gain for them.
+    assert (
+        _results["filter_off"]["critical_points"]
+        > _results["filter_on"]["critical_points"]
+    )
+
+
+@pytest.mark.parametrize(
+    "label,parameters",
+    [("filter_on", FILTER_ON), ("filter_off", FILTER_OFF)],
+    ids=["filter_on", "filter_off"],
+)
+def test_outlier_filter_ablation(benchmark, label, parameters):
+    stream = _noisy_stream()
+
+    def run():
+        originals, synopses = per_vessel_synopses(stream, parameters)
+        error = fleet_rmse(originals, synopses)
+        critical = sum(len(points) for points in synopses.values())
+        return {
+            "avg": error.average,
+            "max": error.maximum,
+            "critical_points": critical,
+        }
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results[label] = stats
+    benchmark.extra_info.update(
+        {
+            "avg_rmse_m": round(stats["avg"], 2),
+            "critical_points": stats["critical_points"],
+        }
+    )

@@ -1,0 +1,83 @@
+"""Figure 10: trajectory maintenance cost per window slide, by phase.
+
+The paper plots the average per-slide cost of the four maintenance phases —
+online tracking, staging of delta points to disk, trajectory reconstruction
+into trips, and loading into the MOD — for (omega=1 h, beta=10 min),
+(omega=6 h, beta=1 h) and (omega=24 h, beta=1 h).
+
+Expected shape: tracking dominates (it filters the full raw volume) and
+grows with the window size; the staging / reconstruction / loading phases
+are small and roughly insensitive to omega, since they see only the reduced
+volume of critical points.
+"""
+
+import pytest
+
+from harness import benchmark_fleet, record_result
+from repro.ais.stream import StreamReplayer, TimedArrival
+from repro.pipeline import SurveillanceSystem, SystemConfig
+from repro.tracking import WindowSpec
+
+CONFIGS = (
+    ("1h/10min", WindowSpec.of_minutes(60, 10)),
+    ("6h/1h", WindowSpec.of_hours(6, 1)),
+    ("24h/1h", WindowSpec.of_hours(24, 1)),
+)
+PHASES = ("tracking", "staging", "reconstruction", "loading")
+
+_results: dict[str, dict[str, float]] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_report():
+    """Write the Figure 10 stacked series once the sweep completes."""
+    yield
+    if len(_results) < len(CONFIGS):
+        return
+    header = "window      " + "".join(f"{phase:>16}" for phase in PHASES)
+    lines = [header]
+    for label, _ in CONFIGS:
+        averages = _results[label]
+        lines.append(
+            f"{label:<12}"
+            + "".join(f"{averages.get(phase, 0.0):>16.5f}" for phase in PHASES)
+        )
+    record_result("fig10_maintenance", lines)
+    for label, _ in CONFIGS:
+        averages = _results[label]
+        offline = (
+            averages.get("staging", 0.0)
+            + averages.get("reconstruction", 0.0)
+            + averages.get("loading", 0.0)
+        )
+        # Tracking dominates the maintenance cost.
+        assert averages["tracking"] > offline, (label, averages)
+
+
+@pytest.mark.parametrize("label,window", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_maintenance_phases(benchmark, label, window, tmp_path):
+    # A stream twice the largest window range, so that even the 24 h window
+    # evicts delta points and the offline phases have work to do (the
+    # paper's 3-month stream dwarfed every window).
+    _, specs, stream = benchmark_fleet(duration=48 * 3600)
+    from harness import benchmark_world
+
+    config = SystemConfig(
+        window=window,
+        enable_recognition=False,
+        database_path=str(tmp_path / "mod.sqlite"),  # staging goes to disk
+    )
+
+    def run():
+        system = SurveillanceSystem(benchmark_world(), specs, config)
+        arrivals = [TimedArrival(p.timestamp, p) for p in stream]
+        for query_time, batch in StreamReplayer(
+            arrivals, window.slide_seconds
+        ).batches():
+            system.process_slide(batch, query_time)
+        return system.timings.averages()
+
+    averages = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results[label] = averages
+    for phase in PHASES:
+        benchmark.extra_info[phase] = round(averages.get(phase, 0.0), 5)

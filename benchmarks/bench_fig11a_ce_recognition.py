@@ -1,0 +1,99 @@
+"""Figure 11(a): complex event recognition time, on-demand spatial reasoning.
+
+Paper setup: slide beta = 1 h; window range omega in {1, 2, 6, 9} hours;
+6,425 vessels and 35 areas; recognition run on one processor, then on two
+processors each owning the west/east half of the monitored area.  Metric:
+average CE recognition time per query.
+
+Expected shape: recognition time grows with omega (more MEs in the working
+memory), and the two-processor partitioning yields a significant speedup
+(each engine sees fewer MEs and maintains fewer CE intervals).  An extra
+4-partition column shows the trend continuing, as the paper suggests
+("one may further distribute CE recognition by dividing further the
+monitored area").
+"""
+
+import pytest
+
+from harness import (
+    benchmark_fleet,
+    benchmark_world,
+    collect_movement_events,
+    record_result,
+)
+from repro.maritime import PartitionedRecognizer
+
+WINDOW_HOURS = (1, 2, 6, 9)
+PARTITIONS = (1, 2, 4)
+
+_results: dict[tuple[int, int], dict] = {}
+
+
+def _me_batches():
+    _, specs, stream = benchmark_fleet()
+    return specs, collect_movement_events(stream)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_report():
+    """Write the Figure 11(a) series once the sweep completes."""
+    yield
+    if len(_results) < len(WINDOW_HOURS) * len(PARTITIONS):
+        return
+    lines = [
+        "omega_hours  partitions  avg_recognition_seconds  "
+        "window_MEs  recognized_CEs"
+    ]
+    for (hours, partitions), stats in sorted(_results.items()):
+        lines.append(
+            f"{hours:>11}  {partitions:>10}  {stats['avg_seconds']:>23.4f}  "
+            f"{stats['window_mes']:>10}  {stats['ces']:>13}"
+        )
+    record_result("fig11a_ce_recognition", lines)
+    # Shape 1: recognition time grows with the window range.
+    for partitions in PARTITIONS:
+        series = [_results[(h, partitions)]["avg_seconds"] for h in WINDOW_HOURS]
+        assert series[-1] > series[0], series
+    # Shape 2: two processors beat one at the largest window.
+    assert (
+        _results[(9, 2)]["avg_seconds"] < _results[(9, 1)]["avg_seconds"]
+    ), "partitioning should reduce per-query recognition time"
+
+
+@pytest.mark.parametrize("partitions", PARTITIONS)
+@pytest.mark.parametrize("hours", WINDOW_HOURS)
+def test_ce_recognition(benchmark, hours, partitions):
+    specs, batches = _me_batches()
+
+    def run():
+        recognizer = PartitionedRecognizer(
+            benchmark_world(), specs, hours * 3600, partitions=partitions
+        )
+        step_seconds = []
+        total_ces = 0
+        window_mes = 0
+        for query_time, events in batches:
+            recognizer.ingest(events, arrival_time=query_time)
+            results, timing = recognizer.step(query_time)
+            # Parallel wall-clock: the slowest partition.
+            step_seconds.append(timing.parallel_seconds)
+            total_ces = sum(result.complex_event_count() for result in results)
+            window_mes = sum(
+                engine.engine.working_memory.event_count()
+                for engine in recognizer.recognizers
+            )
+        return {
+            "avg_seconds": sum(step_seconds) / len(step_seconds),
+            "ces": total_ces,
+            "window_mes": window_mes,
+        }
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results[(hours, partitions)] = stats
+    benchmark.extra_info.update(
+        {
+            "avg_recognition_seconds": round(stats["avg_seconds"], 4),
+            "window_MEs": stats["window_mes"],
+            "recognized_CEs": stats["ces"],
+        }
+    )

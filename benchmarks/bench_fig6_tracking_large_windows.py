@@ -1,0 +1,56 @@
+"""Figure 6(b): online mobility tracking cost per window — large ranges.
+
+Paper setup: omega of 6 h and 24 h, beta of 0.5-4 h.  The same linear
+pattern as Figure 6(a) repeats at a larger scale: "in the worst case of a
+window spanning 24 hours, critical points are reported in only 72 seconds
+based on the bulk of data accumulated over each 4-hour period".
+"""
+
+import pytest
+
+from harness import benchmark_fleet, record_result, replay_tracking
+from repro.tracking import WindowSpec
+
+RANGES_HOURS = (6, 24)
+SLIDES_HOURS = (0.5, 1, 1.5, 2, 4)
+
+_results: dict[tuple[float, float], dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_report():
+    """Write the Figure 6(b) series once the sweep completes."""
+    yield
+    if len(_results) < len(RANGES_HOURS) * len(SLIDES_HOURS):
+        return
+    lines = ["omega_hours  beta_hours  avg_slide_seconds"]
+    for (range_hours, slide_hours), stats in sorted(_results.items()):
+        lines.append(
+            f"{range_hours:>11}  {slide_hours:>10}  "
+            f"{stats['average_slide_seconds']:.4f}"
+        )
+    record_result("fig6b_tracking_large_windows", lines)
+    for range_hours in RANGES_HOURS:
+        series = [
+            _results[(range_hours, slide)]["average_slide_seconds"]
+            for slide in SLIDES_HOURS
+        ]
+        assert series[-1] > series[0], (
+            f"expected cost to grow with beta for omega={range_hours}h: {series}"
+        )
+
+
+@pytest.mark.parametrize("range_hours", RANGES_HOURS)
+@pytest.mark.parametrize("slide_hours", SLIDES_HOURS)
+def test_tracking_cost_large_windows(benchmark, range_hours, slide_hours):
+    _, _, stream = benchmark_fleet()
+    window = WindowSpec.of_hours(range_hours, slide_hours)
+
+    def run():
+        return replay_tracking(stream, window)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results[(range_hours, slide_hours)] = stats
+    benchmark.extra_info["avg_slide_seconds"] = stats["average_slide_seconds"]
+    # Real-time budget: a slide's processing finishes well before the next.
+    assert stats["average_slide_seconds"] < slide_hours * 3600

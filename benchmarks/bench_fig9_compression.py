@@ -1,0 +1,55 @@
+"""Figure 9: critical-point volume and compression ratio versus Delta-theta.
+
+Paper setup: omega = 6 h, beta = 1 h, turn threshold swept over {5, 10, 15,
+20} degrees.  Paper shape: compression ratio stays close to 94 % (about 6 %
+of locations survive as critical), and "every further increase by 5 degrees
+in turn threshold results in about 5 % drop in the total amount of critical
+points".
+"""
+
+import pytest
+
+from harness import benchmark_fleet, record_result, replay_tracking
+from repro.tracking import TrackingParameters, WindowSpec
+
+THRESHOLDS = (5.0, 10.0, 15.0, 20.0)
+
+_results: dict[float, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_report():
+    """Write the Figure 9 series once the sweep completes."""
+    yield
+    if len(_results) < len(THRESHOLDS):
+        return
+    lines = ["delta_theta_deg  critical_points  compression_ratio"]
+    for threshold, stats in sorted(_results.items()):
+        lines.append(
+            f"{threshold:>15.0f}  {stats['critical_points']:>15}  "
+            f"{stats['compression_ratio']:.4f}"
+        )
+    record_result("fig9_compression", lines)
+    counts = [_results[t]["critical_points"] for t in THRESHOLDS]
+    ratios = [_results[t]["compression_ratio"] for t in THRESHOLDS]
+    # Wider thresholds keep fewer (or equal) critical points...
+    assert counts[0] >= counts[-1]
+    # ...and the compression ratio stays high throughout the sweep.
+    assert min(ratios) > 0.85
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_compression_for_threshold(benchmark, threshold):
+    _, _, stream = benchmark_fleet()
+    window = WindowSpec.of_hours(6, 1)
+    parameters = TrackingParameters(turn_threshold_degrees=threshold)
+
+    def run():
+        return replay_tracking(stream, window, parameters)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results[threshold] = stats
+    benchmark.extra_info["critical_points"] = stats["critical_points"]
+    benchmark.extra_info["compression_ratio"] = round(
+        stats["compression_ratio"], 4
+    )

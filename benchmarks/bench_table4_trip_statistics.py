@@ -1,0 +1,71 @@
+"""Table 4: statistics from compressed trajectories.
+
+"This computation took place after the input stream was exhausted and all
+critical points were detected" — the bench replays the full benchmark
+stream through the pipeline, finalizes, reconstructs trips in the MOD, and
+prints the Table 4 rows.
+
+Paper shape (their 3-month / 6,425-vessel scale): trips an order of
+magnitude more numerous than the fleet, ~25 % of critical points left
+unassigned in staging (open-ended voyages), long multi-point trips.  At
+this 24-hour scale the counts shrink accordingly but the structure holds:
+real multi-point trips between ports plus a staged open-ended tail.
+"""
+
+import pytest
+
+from harness import benchmark_fleet, benchmark_world, record_result
+from repro.ais.stream import StreamReplayer, TimedArrival
+from repro.mod import compute_od_matrix, compute_trip_statistics
+from repro.pipeline import SurveillanceSystem, SystemConfig
+from repro.tracking import WindowSpec
+
+_stats: list = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_report():
+    """Write the Table 4 rows."""
+    yield
+    if not _stats:
+        return
+    stats, matrix = _stats[0]
+    lines = stats.format_table().splitlines()
+    lines.append("")
+    lines.append("Busiest itineraries (origin -> destination: trips):")
+    for (origin, destination), trips in matrix.busiest(5):
+        lines.append(f"  {origin or '<unknown>'} -> {destination}: {trips}")
+    record_result("table4_trip_statistics", lines)
+
+
+def test_trip_statistics(benchmark):
+    _, specs, stream = benchmark_fleet()
+    config = SystemConfig(window=WindowSpec.of_hours(2, 1))
+
+    def run():
+        system = SurveillanceSystem(benchmark_world(), specs, config)
+        arrivals = [TimedArrival(p.timestamp, p) for p in stream]
+        for query_time, batch in StreamReplayer(arrivals, 3600).batches():
+            system.process_slide(batch, query_time)
+        system.finalize()
+        return (
+            compute_trip_statistics(system.database),
+            compute_od_matrix(system.database),
+        )
+
+    stats, matrix = benchmark.pedantic(run, rounds=1, iterations=1)
+    _stats.append((stats, matrix))
+    benchmark.extra_info["trips"] = stats.trip_count
+    benchmark.extra_info["avg_points_per_trip"] = round(
+        stats.average_points_per_trip, 1
+    )
+    benchmark.extra_info["avg_distance_km"] = round(
+        stats.average_distance_meters / 1000.0, 1
+    )
+
+    # Structural checks mirroring the paper's table.
+    assert stats.trip_count > 0
+    assert stats.average_points_per_trip >= 2
+    # Open-ended voyages remain staged, as in the paper (~25 % there).
+    assert stats.critical_points_in_staging > 0
+    assert stats.average_distance_meters > 10_000

@@ -1,0 +1,16 @@
+"""Benchmark suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench regenerates one table or figure of the paper (see the module
+docstrings and DESIGN.md's per-experiment index).  Result tables are written
+to ``benchmarks/results/`` as a side effect.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `harness` importable regardless of the pytest rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

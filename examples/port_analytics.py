@@ -1,0 +1,98 @@
+"""Offline trajectory analytics over the Moving Objects Database.
+
+Replays a day of traffic through the pipeline, then runs the Section 3.3
+analytics against the archive: Table-4 trip statistics, the
+origin-destination matrix, per-vessel travel summaries, spatiotemporal trip
+clustering, and the range / nearest-neighbour query operators.
+
+Run::
+
+    python examples/port_analytics.py
+"""
+
+from repro import (
+    FleetSimulator,
+    StreamReplayer,
+    SurveillanceSystem,
+    SystemConfig,
+    TimedArrival,
+    WindowSpec,
+    build_aegean_world,
+    compute_od_matrix,
+    compute_trip_statistics,
+)
+from repro.geo.polygon import BoundingBox
+from repro.mod.analytics import vessel_travel_summary
+from repro.mod.clustering import cluster_trips
+from repro.mod.queries import nearest_neighbors, range_query
+
+
+def main() -> None:
+    world = build_aegean_world()
+    simulator = FleetSimulator(world, seed=101, duration_seconds=24 * 3600)
+    fleet = simulator.build_mixed_fleet(60)
+    specs = {vessel.mmsi: vessel.spec for vessel in fleet}
+
+    config = SystemConfig(
+        window=WindowSpec.of_hours(2, 1), enable_recognition=False
+    )
+    system = SurveillanceSystem(world, specs, config)
+    stream = simulator.positions(fleet)
+    replayer = StreamReplayer(
+        [TimedArrival(p.timestamp, p) for p in stream], slide_seconds=3600
+    )
+    for query_time, batch in replayer.batches():
+        system.process_slide(batch, query_time)
+    system.finalize()
+    mod = system.database
+
+    print("=== Table 4: trip statistics ===")
+    print(compute_trip_statistics(mod).format_table())
+
+    print("\n=== Origin-destination matrix: busiest itineraries ===")
+    matrix = compute_od_matrix(mod)
+    for (origin, destination), trips in matrix.busiest(5):
+        cell = matrix.cells[(origin, destination)]
+        hours = cell["average_travel_time_seconds"] / 3600.0
+        km = cell["average_distance_meters"] / 1000.0
+        print(
+            f"  {origin or '<unknown>':>12} -> {destination:<12} "
+            f"{trips} trips, avg {hours:.1f} h / {km:.0f} km"
+        )
+
+    busiest_vessel = max(
+        {trip["mmsi"] for trip in mod.all_trips()},
+        key=lambda mmsi: len(mod.trips_of_vessel(mmsi)),
+        default=None,
+    )
+    if busiest_vessel is not None:
+        print(f"\n=== Travel summary for vessel {busiest_vessel} ===")
+        summary = vessel_travel_summary(mod, busiest_vessel)
+        print(f"  trips: {summary['trips']}")
+        print(f"  distance: {summary['total_distance_meters'] / 1000:.0f} km")
+        print(f"  at sea: {summary['total_travel_time_seconds'] / 3600:.1f} h")
+        print(f"  ports: {', '.join(summary['ports_visited'])}")
+
+    print("\n=== Spatiotemporal trip clusters ===")
+    clusters = cluster_trips(mod, epsilon_meters=10_000.0)
+    for index, cluster in enumerate(clusters):
+        print(f"  cluster {index}: trips {cluster}")
+    if not clusters:
+        print("  (no recurrent itineraries at this scale)")
+
+    print("\n=== Spatiotemporal queries ===")
+    piraeus = world.port_by_name("piraeus")
+    box = BoundingBox(
+        piraeus.lon - 0.3, piraeus.lat - 0.3, piraeus.lon + 0.3, piraeus.lat + 0.3
+    )
+    hits = range_query(mod, box, 0, 24 * 3600)
+    print(f"  archived points near Piraeus (+-0.3 deg, full day): {len(hits)}")
+    neighbors = nearest_neighbors(
+        mod, piraeus.lon, piraeus.lat, 6 * 3600, k=3, time_tolerance=3600
+    )
+    for mmsi, distance in neighbors:
+        print(f"  nearest t=6h: vessel {mmsi} at {distance / 1000:.1f} km")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,208 @@
+"""Binary layout of the AIS message types consumed by the system.
+
+The paper considers AIS messages of types 1, 2, 3 (Class A position reports),
+18 and 19 (Class B position reports) — Section 2.  This module encodes and
+decodes those layouts per ITU-R M.1371: positions in 1/10000 arc-minute,
+speed over ground in 1/10 knot, course over ground in 1/10 degree.
+
+Only the fields the surveillance system uses (MMSI, longitude, latitude, plus
+speed/course metadata useful for validation) are surfaced; remaining layout
+bits are encoded as defaults and skipped on decode, keeping the wire format
+faithful so that corrupt-message tests exercise realistic payloads.
+"""
+
+from dataclasses import dataclass
+
+from repro.ais.sixbit import BitReader, BitWriter, bits_to_payload, payload_to_bits
+
+#: Message types carrying position reports that the Data Scanner accepts.
+POSITION_REPORT_TYPES = frozenset({1, 2, 3, 18, 19})
+
+#: Sentinel "not available" values from the AIS specification.
+LON_NOT_AVAILABLE = 181.0
+LAT_NOT_AVAILABLE = 91.0
+SPEED_NOT_AVAILABLE = 102.3
+COURSE_NOT_AVAILABLE = 360.0
+
+_LON_SCALE = 600_000  # 1/10000 arc-minute
+_LAT_SCALE = 600_000
+
+
+@dataclass(frozen=True)
+class PositionReport:
+    """Decoded AIS position report (any of types 1, 2, 3, 18, 19)."""
+
+    message_type: int
+    mmsi: int
+    lon: float
+    lat: float
+    speed_knots: float
+    course_degrees: float
+    second_of_minute: int
+
+    def has_valid_position(self) -> bool:
+        """Whether lon/lat carry an actual fix (not the sentinel values)."""
+        return (
+            -180.0 <= self.lon <= 180.0
+            and -90.0 <= self.lat <= 90.0
+        )
+
+
+def encode_position_report(report: PositionReport) -> tuple[str, int]:
+    """Encode a position report into an armored payload.
+
+    Returns ``(payload, fill_bits)`` ready for AIVDM framing.
+    """
+    if report.message_type not in POSITION_REPORT_TYPES:
+        raise ValueError(f"unsupported message type: {report.message_type}")
+    if report.message_type in (1, 2, 3):
+        bits = _encode_class_a(report)
+    elif report.message_type == 18:
+        bits = _encode_class_b(report, extended=False)
+    else:
+        bits = _encode_class_b(report, extended=True)
+    return bits_to_payload(bits)
+
+
+def decode_payload(payload: str, fill_bits: int = 0) -> PositionReport | None:
+    """Decode an armored payload into a :class:`PositionReport`.
+
+    Returns ``None`` for message types the system does not consume (the Data
+    Scanner ignores them) and raises ``ValueError`` on malformed payloads of
+    a supported type.
+    """
+    bits = payload_to_bits(payload, fill_bits)
+    if len(bits) < 6:
+        raise ValueError("payload too short to carry a message type")
+    reader = BitReader(bits)
+    message_type = reader.read_uint(6)
+    if message_type not in POSITION_REPORT_TYPES:
+        return None
+    if message_type in (1, 2, 3):
+        return _decode_class_a(message_type, reader)
+    if message_type == 18:
+        return _decode_class_b(message_type, reader, extended=False)
+    return _decode_class_b(message_type, reader, extended=True)
+
+
+def _encode_common_header(writer: BitWriter, report: PositionReport) -> None:
+    writer.write_uint(report.message_type, 6)
+    writer.write_uint(0, 2)  # repeat indicator
+    writer.write_uint(report.mmsi, 30)
+
+
+def _encode_class_a(report: PositionReport) -> list[int]:
+    """Types 1/2/3: 168-bit Class A position report."""
+    writer = BitWriter()
+    _encode_common_header(writer, report)
+    writer.write_uint(15, 4)  # navigation status: not defined
+    writer.write_int(-128, 8)  # rate of turn: not available
+    writer.write_uint(_encode_speed(report.speed_knots), 10)
+    writer.write_uint(0, 1)  # position accuracy
+    writer.write_int(round(report.lon * _LON_SCALE), 28)
+    writer.write_int(round(report.lat * _LAT_SCALE), 27)
+    writer.write_uint(_encode_course(report.course_degrees), 12)
+    writer.write_uint(511, 9)  # true heading: not available
+    writer.write_uint(report.second_of_minute % 64, 6)
+    writer.write_uint(0, 2)  # maneuver indicator
+    writer.write_uint(0, 3)  # spare
+    writer.write_uint(0, 1)  # RAIM
+    writer.write_uint(0, 19)  # radio status
+    return writer.bits()
+
+
+def _decode_class_a(message_type: int, reader: BitReader) -> PositionReport:
+    reader.skip(2)  # repeat indicator
+    mmsi = reader.read_uint(30)
+    reader.skip(4)  # navigation status
+    reader.skip(8)  # rate of turn
+    speed = _decode_speed(reader.read_uint(10))
+    reader.skip(1)  # position accuracy
+    lon = reader.read_int(28) / _LON_SCALE
+    lat = reader.read_int(27) / _LAT_SCALE
+    course = _decode_course(reader.read_uint(12))
+    reader.skip(9)  # true heading
+    second = reader.read_uint(6)
+    # Remaining: maneuver (2) + spare (3) + RAIM (1) + radio (19); tolerate
+    # truncation there since none of it is consumed downstream.
+    return PositionReport(message_type, mmsi, lon, lat, speed, course, second)
+
+
+def _encode_class_b(report: PositionReport, extended: bool) -> list[int]:
+    """Type 18 (168-bit) or type 19 (312-bit) Class B position report."""
+    writer = BitWriter()
+    _encode_common_header(writer, report)
+    writer.write_uint(0, 8)  # regional reserved
+    writer.write_uint(_encode_speed(report.speed_knots), 10)
+    writer.write_uint(0, 1)  # position accuracy
+    writer.write_int(round(report.lon * _LON_SCALE), 28)
+    writer.write_int(round(report.lat * _LAT_SCALE), 27)
+    writer.write_uint(_encode_course(report.course_degrees), 12)
+    writer.write_uint(511, 9)  # true heading: not available
+    writer.write_uint(report.second_of_minute % 64, 6)
+    if not extended:
+        writer.write_uint(0, 2)  # regional reserved
+        writer.write_uint(1, 1)  # CS unit: carrier-sense Class B
+        writer.write_uint(0, 1)  # display flag
+        writer.write_uint(0, 1)  # DSC flag
+        writer.write_uint(0, 1)  # band flag
+        writer.write_uint(0, 1)  # message-22 flag
+        writer.write_uint(0, 1)  # assigned-mode flag
+        writer.write_uint(0, 1)  # RAIM
+        writer.write_uint(0, 20)  # radio status
+    else:
+        writer.write_uint(0, 4)  # regional reserved
+        for _ in range(20):
+            writer.write_uint(0, 6)  # ship name: 20 chars of '@'
+        writer.write_uint(0, 8)  # ship type: not available
+        writer.write_uint(0, 9)  # dimension to bow
+        writer.write_uint(0, 9)  # dimension to stern
+        writer.write_uint(0, 6)  # dimension to port
+        writer.write_uint(0, 6)  # dimension to starboard
+        writer.write_uint(0, 4)  # EPFD type
+        writer.write_uint(0, 1)  # RAIM
+        writer.write_uint(0, 1)  # data-terminal-equipment flag
+        writer.write_uint(0, 1)  # assigned-mode flag
+        writer.write_uint(0, 4)  # spare
+    return writer.bits()
+
+
+def _decode_class_b(
+    message_type: int, reader: BitReader, extended: bool
+) -> PositionReport:
+    reader.skip(2)  # repeat indicator
+    mmsi = reader.read_uint(30)
+    reader.skip(8)  # regional reserved
+    speed = _decode_speed(reader.read_uint(10))
+    reader.skip(1)  # position accuracy
+    lon = reader.read_int(28) / _LON_SCALE
+    lat = reader.read_int(27) / _LAT_SCALE
+    course = _decode_course(reader.read_uint(12))
+    reader.skip(9)  # true heading
+    second = reader.read_uint(6)
+    del extended  # trailing fields are not consumed downstream
+    return PositionReport(message_type, mmsi, lon, lat, speed, course, second)
+
+
+def _encode_speed(speed_knots: float) -> int:
+    if speed_knots < 0:
+        raise ValueError(f"negative speed: {speed_knots}")
+    # 1023 = not available, 1022 = 102.2 knots or higher.
+    return min(1022, round(speed_knots * 10))
+
+
+def _decode_speed(raw: int) -> float:
+    if raw == 1023:
+        return SPEED_NOT_AVAILABLE
+    return raw / 10.0
+
+
+def _encode_course(course_degrees: float) -> int:
+    # 3600 = not available.
+    return round((course_degrees % 360.0) * 10) % 3600
+
+
+def _decode_course(raw: int) -> float:
+    if raw >= 3600:
+        return COURSE_NOT_AVAILABLE
+    return raw / 10.0

@@ -1,0 +1,85 @@
+"""NMEA 0183 framing for AIS: the ``!AIVDM`` sentence.
+
+An AIVDM sentence looks like::
+
+    !AIVDM,1,1,,A,13u?etPv2;0n:dDPwUM1U1Cb069D,0*24
+
+with fields: fragment count, fragment number, sequential message id, radio
+channel, armored payload, fill bits — followed by ``*`` and a two-hex-digit
+XOR checksum over everything between ``!`` and ``*``.
+
+The Data Scanner discards sentences with bad checksums ("clean them from
+distortions caused during transmission — e.g., discard messages with bad
+checksum", Section 2), so checksum handling is implemented faithfully.
+"""
+
+from dataclasses import dataclass
+
+
+class NmeaFormatError(ValueError):
+    """The sentence does not have the AIVDM structure."""
+
+
+class ChecksumError(ValueError):
+    """The sentence checksum does not match its contents."""
+
+
+@dataclass(frozen=True)
+class AivdmSentence:
+    """Parsed fields of a (single-fragment) AIVDM sentence."""
+
+    payload: str
+    fill_bits: int
+    channel: str
+
+
+def nmea_checksum(body: str) -> str:
+    """XOR checksum of a sentence body, as two uppercase hex digits."""
+    value = 0
+    for char in body:
+        value ^= ord(char)
+    return f"{value:02X}"
+
+
+def wrap_aivdm(payload: str, fill_bits: int, channel: str = "A") -> str:
+    """Frame an armored payload as a single-fragment AIVDM sentence."""
+    body = f"AIVDM,1,1,,{channel},{payload},{fill_bits}"
+    return f"!{body}*{nmea_checksum(body)}"
+
+
+def unwrap_aivdm(sentence: str) -> AivdmSentence:
+    """Parse and validate a single-fragment AIVDM sentence.
+
+    Raises :class:`NmeaFormatError` on structural problems and
+    :class:`ChecksumError` when the checksum does not match.
+    """
+    sentence = sentence.strip()
+    if not sentence.startswith("!"):
+        raise NmeaFormatError("sentence must start with '!'")
+    star = sentence.rfind("*")
+    if star == -1 or star + 3 != len(sentence):
+        raise NmeaFormatError("missing or malformed checksum suffix")
+    body = sentence[1:star]
+    declared = sentence[star + 1 :].upper()
+    if nmea_checksum(body) != declared:
+        raise ChecksumError(
+            f"checksum mismatch: computed {nmea_checksum(body)}, declared {declared}"
+        )
+    fields = body.split(",")
+    if len(fields) != 7 or fields[0] not in ("AIVDM", "AIVDO"):
+        raise NmeaFormatError(f"not an AIVDM sentence: {body!r}")
+    try:
+        fragment_count = int(fields[1])
+        fragment_number = int(fields[2])
+        fill_bits = int(fields[6])
+    except ValueError as exc:
+        raise NmeaFormatError(f"non-numeric framing field in {body!r}") from exc
+    if fragment_count != 1 or fragment_number != 1:
+        raise NmeaFormatError(
+            "multi-fragment sentences are not produced by the supported "
+            f"message types (got fragment {fragment_number}/{fragment_count})"
+        )
+    payload = fields[5]
+    if not payload:
+        raise NmeaFormatError("empty payload")
+    return AivdmSentence(payload=payload, fill_bits=fill_bits, channel=fields[4])

@@ -1,0 +1,39 @@
+"""Geographic primitives used across the maritime surveillance system.
+
+The paper abstracts vessels as 2-dimensional point entities and measures
+everything with Haversine distances (Section 3, footnote 2).  This package
+provides those primitives from scratch: great-circle distances and bearings,
+point-in-polygon tests, distances from points to polygonal areas, and the
+linear interpolation used both by the mobility tracker and by the trajectory
+approximation-error study (Figure 8).
+"""
+
+from repro.geo.haversine import (
+    EARTH_RADIUS_METERS,
+    destination_point,
+    haversine_meters,
+    initial_bearing_degrees,
+    heading_difference_degrees,
+)
+from repro.geo.interpolate import interpolate_position, synchronize_track
+from repro.geo.polygon import BoundingBox, GeoPolygon
+from repro.geo.units import (
+    KNOT_IN_METERS_PER_SECOND,
+    knots_to_mps,
+    mps_to_knots,
+)
+
+__all__ = [
+    "EARTH_RADIUS_METERS",
+    "KNOT_IN_METERS_PER_SECOND",
+    "BoundingBox",
+    "GeoPolygon",
+    "destination_point",
+    "haversine_meters",
+    "heading_difference_degrees",
+    "initial_bearing_degrees",
+    "interpolate_position",
+    "knots_to_mps",
+    "mps_to_knots",
+    "synchronize_track",
+]

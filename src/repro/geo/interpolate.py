@@ -1,0 +1,72 @@
+"""Linear interpolation along timestamped tracks.
+
+Two consumers in the paper:
+
+* the mobility tracker assumes linear interpolation between successive
+  position samples (Section 3, footnote 2);
+* the approximation-error study (Figure 8) aligns a compressed trajectory
+  with the original by interpolating, at each discarded timestamp, between
+  the adjacent *retained* critical points, assuming constant velocity —
+  producing a time-synchronized pair of sequences for the RMSE.
+"""
+
+from bisect import bisect_right
+from collections.abc import Sequence
+
+TimedPoint = tuple[float, float, int]  # (lon, lat, timestamp-seconds)
+
+
+def interpolate_position(
+    p_before: TimedPoint, p_after: TimedPoint, timestamp: int
+) -> tuple[float, float]:
+    """Position at ``timestamp`` on the segment between two timed points.
+
+    Assumes constant velocity between the two points (linear interpolation in
+    lon/lat, adequate over the short inter-report distances of AIS traces).
+    Timestamps outside the segment clamp to the nearer endpoint.
+    """
+    lon1, lat1, t1 = p_before
+    lon2, lat2, t2 = p_after
+    if t2 <= t1 or timestamp <= t1:
+        return lon1, lat1
+    if timestamp >= t2:
+        return lon2, lat2
+    fraction = (timestamp - t1) / (t2 - t1)
+    return lon1 + fraction * (lon2 - lon1), lat1 + fraction * (lat2 - lat1)
+
+
+def synchronize_track(
+    reference_timestamps: Sequence[int], compressed: Sequence[TimedPoint]
+) -> list[tuple[float, float]]:
+    """Resample a compressed track at the reference timestamps.
+
+    For each reference timestamp, interpolates between the pair of adjacent
+    compressed points (the critical points retained immediately before and
+    after it), exactly as in the paper's RMSE estimation.  Timestamps before
+    the first or after the last compressed point clamp to the respective
+    endpoint.
+
+    Raises ``ValueError`` when the compressed track is empty or its
+    timestamps are not strictly increasing.
+    """
+    if not compressed:
+        raise ValueError("cannot synchronize against an empty compressed track")
+    times = [p[2] for p in compressed]
+    if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
+        raise ValueError("compressed track timestamps must be strictly increasing")
+
+    synchronized: list[tuple[float, float]] = []
+    for timestamp in reference_timestamps:
+        # Index of the first compressed point strictly after the timestamp.
+        idx = bisect_right(times, timestamp)
+        if idx == 0:
+            lon, lat, _ = compressed[0]
+            synchronized.append((lon, lat))
+        elif idx == len(compressed):
+            lon, lat, _ = compressed[-1]
+            synchronized.append((lon, lat))
+        else:
+            synchronized.append(
+                interpolate_position(compressed[idx - 1], compressed[idx], timestamp)
+            )
+    return synchronized

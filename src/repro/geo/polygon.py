@@ -1,0 +1,233 @@
+"""Polygonal areas: protected zones, forbidden-fishing zones, shallow waters,
+port areas.
+
+The complex event definitions (Section 4) rely on the atemporal ``close``
+predicate — whether the Haversine distance between a vessel position and an
+*Area* is below a threshold — and trip segmentation (Section 3.2) tests
+whether a long-term stop falls inside a port polygon.  Both are served here.
+
+Polygons are simple (non self-intersecting) rings of (lon, lat) vertices.
+For the small areas used in maritime surveillance (ports, marine parks), a
+local equirectangular approximation is accurate to well under a meter, which
+is far below GPS noise.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.geo.haversine import EARTH_RADIUS_METERS, haversine_meters
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned (lon, lat) bounding box."""
+
+    min_lon: float
+    min_lat: float
+    max_lon: float
+    max_lat: float
+
+    def contains(self, lon: float, lat: float) -> bool:
+        """Whether a point lies inside (or on the edge of) the box."""
+        return (
+            self.min_lon <= lon <= self.max_lon
+            and self.min_lat <= lat <= self.max_lat
+        )
+
+    def expanded(self, margin_meters: float) -> "BoundingBox":
+        """A box grown by ``margin_meters`` on every side.
+
+        Used as a cheap pre-filter before exact distance-to-polygon tests.
+        """
+        lat_margin = math.degrees(margin_meters / EARTH_RADIUS_METERS)
+        mid_lat = math.radians((self.min_lat + self.max_lat) / 2.0)
+        cos_lat = max(0.01, math.cos(mid_lat))
+        lon_margin = lat_margin / cos_lat
+        return BoundingBox(
+            self.min_lon - lon_margin,
+            self.min_lat - lat_margin,
+            self.max_lon + lon_margin,
+            self.max_lat + lat_margin,
+        )
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Center (lon, lat) of the box."""
+        return (
+            (self.min_lon + self.max_lon) / 2.0,
+            (self.min_lat + self.max_lat) / 2.0,
+        )
+
+
+class GeoPolygon:
+    """A named polygonal area on the Earth's surface.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the area (e.g. a port name or ``protected_03``).
+    vertices:
+        Ring of (lon, lat) pairs.  The closing edge back to the first vertex
+        is implicit; at least three vertices are required.
+    """
+
+    def __init__(self, name: str, vertices: list[tuple[float, float]]):
+        if len(vertices) < 3:
+            raise ValueError(
+                f"polygon {name!r} needs at least 3 vertices, got {len(vertices)}"
+            )
+        self.name = name
+        self.vertices = [(float(lon), float(lat)) for lon, lat in vertices]
+        lons = [v[0] for v in self.vertices]
+        lats = [v[1] for v in self.vertices]
+        self.bbox = BoundingBox(min(lons), min(lats), max(lons), max(lats))
+        # Reference latitude for the local equirectangular projection.
+        self._ref_lat = math.radians((self.bbox.min_lat + self.bbox.max_lat) / 2.0)
+        self._cos_ref = math.cos(self._ref_lat)
+
+    def __repr__(self) -> str:
+        return f"GeoPolygon({self.name!r}, {len(self.vertices)} vertices)"
+
+    def _project(self, lon: float, lat: float) -> tuple[float, float]:
+        """Project (lon, lat) to local planar meters around the polygon."""
+        x = math.radians(lon) * self._cos_ref * EARTH_RADIUS_METERS
+        y = math.radians(lat) * EARTH_RADIUS_METERS
+        return x, y
+
+    def contains(self, lon: float, lat: float) -> bool:
+        """Even-odd (ray casting) point-in-polygon test."""
+        if not self.bbox.contains(lon, lat):
+            return False
+        inside = False
+        n = len(self.vertices)
+        x, y = lon, lat
+        for i in range(n):
+            x1, y1 = self.vertices[i]
+            x2, y2 = self.vertices[(i + 1) % n]
+            if (y1 > y) != (y2 > y):
+                x_cross = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
+                if x < x_cross:
+                    inside = not inside
+        return inside
+
+    def distance_meters(self, lon: float, lat: float) -> float:
+        """Distance from a point to the polygon, 0 if the point is inside.
+
+        Exact enough for the ``close`` predicate: minimum over the distances
+        to the boundary segments, computed in a local planar projection.
+        """
+        if self.contains(lon, lat):
+            return 0.0
+        px, py = self._project(lon, lat)
+        best = math.inf
+        n = len(self.vertices)
+        for i in range(n):
+            ax, ay = self._project(*self.vertices[i])
+            bx, by = self._project(*self.vertices[(i + 1) % n])
+            best = min(best, _point_segment_distance(px, py, ax, ay, bx, by))
+        return best
+
+    def is_close(self, lon: float, lat: float, threshold_meters: float) -> bool:
+        """The paper's ``close(Lon, Lat, Area)`` predicate.
+
+        True when the Haversine distance between the point and the area is
+        less than the threshold (points inside the area are at distance 0).
+        """
+        if not self.bbox.expanded(threshold_meters).contains(lon, lat):
+            return False
+        return self.distance_meters(lon, lat) < threshold_meters
+
+    @property
+    def centroid(self) -> tuple[float, float]:
+        """Area-weighted centroid (lon, lat) of the polygon ring."""
+        area2 = 0.0
+        cx = 0.0
+        cy = 0.0
+        n = len(self.vertices)
+        for i in range(n):
+            x1, y1 = self.vertices[i]
+            x2, y2 = self.vertices[(i + 1) % n]
+            cross = x1 * y2 - x2 * y1
+            area2 += cross
+            cx += (x1 + x2) * cross
+            cy += (y1 + y2) * cross
+        if abs(area2) < 1e-15:
+            # Degenerate ring: fall back to the vertex mean.
+            return (
+                sum(v[0] for v in self.vertices) / n,
+                sum(v[1] for v in self.vertices) / n,
+            )
+        return cx / (3.0 * area2), cy / (3.0 * area2)
+
+    def area_square_meters(self) -> float:
+        """Approximate surface area via the shoelace formula in local meters."""
+        pts = [self._project(lon, lat) for lon, lat in self.vertices]
+        area2 = 0.0
+        n = len(pts)
+        for i in range(n):
+            x1, y1 = pts[i]
+            x2, y2 = pts[(i + 1) % n]
+            area2 += x1 * y2 - x2 * y1
+        return abs(area2) / 2.0
+
+    @classmethod
+    def rectangle(
+        cls,
+        name: str,
+        center_lon: float,
+        center_lat: float,
+        width_meters: float,
+        height_meters: float,
+    ) -> "GeoPolygon":
+        """Axis-aligned rectangular area centered at a point.
+
+        A convenient constructor for the synthetic world model (ports,
+        protected areas).
+        """
+        half_h = math.degrees((height_meters / 2.0) / EARTH_RADIUS_METERS)
+        cos_lat = max(0.01, math.cos(math.radians(center_lat)))
+        half_w = math.degrees((width_meters / 2.0) / EARTH_RADIUS_METERS) / cos_lat
+        return cls(
+            name,
+            [
+                (center_lon - half_w, center_lat - half_h),
+                (center_lon + half_w, center_lat - half_h),
+                (center_lon + half_w, center_lat + half_h),
+                (center_lon - half_w, center_lat + half_h),
+            ],
+        )
+
+
+def _point_segment_distance(
+    px: float, py: float, ax: float, ay: float, bx: float, by: float
+) -> float:
+    """Euclidean distance from point P to segment AB in planar coordinates."""
+    abx = bx - ax
+    aby = by - ay
+    norm2 = abx * abx + aby * aby
+    if norm2 == 0.0:
+        return math.hypot(px - ax, py - ay)
+    t = ((px - ax) * abx + (py - ay) * aby) / norm2
+    t = min(1.0, max(0.0, t))
+    cx = ax + t * abx
+    cy = ay + t * aby
+    return math.hypot(px - cx, py - cy)
+
+
+def nearest_area(
+    polygons: list[GeoPolygon], lon: float, lat: float
+) -> tuple[GeoPolygon | None, float]:
+    """The polygon nearest to a point, with its distance in meters."""
+    best: GeoPolygon | None = None
+    best_distance = math.inf
+    for polygon in polygons:
+        distance = polygon.distance_meters(lon, lat)
+        if distance < best_distance:
+            best = polygon
+            best_distance = distance
+    return best, best_distance
+
+
+def point_distance_meters(p1: tuple[float, float], p2: tuple[float, float]) -> float:
+    """Haversine distance between two (lon, lat) tuples."""
+    return haversine_meters(p1[0], p1[1], p2[0], p2[1])

@@ -1,0 +1,18 @@
+"""Unit conversions for maritime quantities.
+
+Speeds in the AIS world are reported in knots; the mobility tracker works in
+meters and seconds internally (Haversine distances over timestamp deltas).
+"""
+
+#: One international knot, in meters per second (1 knot = 1.852 km/h).
+KNOT_IN_METERS_PER_SECOND = 1852.0 / 3600.0
+
+
+def knots_to_mps(knots: float) -> float:
+    """Convert a speed in knots to meters per second."""
+    return knots * KNOT_IN_METERS_PER_SECOND
+
+
+def mps_to_knots(mps: float) -> float:
+    """Convert a speed in meters per second to knots."""
+    return mps / KNOT_IN_METERS_PER_SECOND

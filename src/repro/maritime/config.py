@@ -1,0 +1,21 @@
+"""Configuration of the maritime event description."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MaritimeConfig:
+    """Thresholds of the CE definitions.
+
+    ``suspicious_other_vessels`` reflects the domain experts' "at least four
+    vessels": the triggering vessel's own stop is not yet counted by the
+    ``vesselsStoppedIn`` fluent at the instant its ``start(stopped)`` event
+    occurs (a fluent initiated at T holds from T+1), so the rule requires at
+    least three *other* vessels, giving four in total.
+    """
+
+    #: The ``close`` predicate threshold: Haversine distance below which a
+    #: position counts as close to (or in) an area, meters.
+    close_threshold_meters: float = 3000.0
+    #: Minimum count of other stopped vessels for ``suspicious`` (see above).
+    suspicious_other_vessels: int = 3

@@ -1,0 +1,130 @@
+"""The Complex Event Recognition module, assembled.
+
+:class:`MaritimeRecognizer` wires the RTEC engine, the maritime event
+description and the ME adapter into the component of Figure 1: feed it the
+movement events of each window slide, call :meth:`step`, and receive the
+recognized complex events as :class:`Alert` records for "real-time
+decision-making" by the marine authorities.
+"""
+
+import time
+from dataclasses import dataclass
+
+from repro.maritime.adapter import MovementEventAdapter
+from repro.maritime.config import MaritimeConfig
+from repro.maritime.definitions import (
+    OUTPUT_EVENTS,
+    OUTPUT_FLUENTS,
+    build_maritime_rules,
+)
+from repro.maritime.spatial_facts import build_spatial_fact_rules
+from repro.rtec.engine import RTEC, RecognitionResult
+from repro.rtec.intervals import OPEN
+from repro.simulator.vessel import VesselSpec
+from repro.simulator.world import Area, WorldModel
+from repro.tracking.types import MovementEvent
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One recognized complex event, formatted for the end user.
+
+    Durative CEs (``suspicious``, ``illegalFishing``) produce one alert per
+    maximal interval; instantaneous CEs (``illegalShipping``,
+    ``dangerousShipping``) one per occurrence.  ``until`` is ``None`` for
+    instantaneous CEs and for intervals still open at the query time.
+    """
+
+    kind: str
+    area: str
+    since: int
+    until: int | None = None
+    mmsi: int | None = None
+
+    @property
+    def is_ongoing(self) -> bool:
+        """Whether the situation was still in progress at the query time."""
+        return self.until is None
+
+
+class MaritimeRecognizer:
+    """End-to-end CE recognition over movement-event slides."""
+
+    def __init__(
+        self,
+        world: WorldModel,
+        specs: dict[int, VesselSpec],
+        window_seconds: int,
+        config: MaritimeConfig | None = None,
+        watch_areas: list[Area] | None = None,
+        spatial_facts: bool = False,
+    ):
+        self.world = world
+        self.config = config or MaritimeConfig()
+        self.spatial_facts = spatial_facts
+        self.engine = RTEC(window_seconds)
+        if spatial_facts:
+            rules, computed = build_spatial_fact_rules(
+                self.world, specs, self.config, watch_areas
+            )
+        else:
+            rules, computed = build_maritime_rules(
+                self.world, specs, self.config, watch_areas
+            )
+        self.engine.declare_rules(rules)
+        for fluent in computed:
+            self.engine.declare_computed(fluent)
+        self.engine.declare_outputs(OUTPUT_FLUENTS, OUTPUT_EVENTS)
+        self.adapter = MovementEventAdapter(self.engine.working_memory)
+        self.last_step_seconds = 0.0
+
+    def ingest(
+        self, events: list[MovementEvent], arrival_time: int | None = None
+    ) -> int:
+        """Feed one slide's movement events; returns the ME count asserted."""
+        count = self.adapter.ingest_events(events, arrival_time)
+        if self.spatial_facts:
+            from repro.maritime.spatial_facts import assert_spatial_facts
+
+            count += assert_spatial_facts(
+                self.engine.working_memory,
+                events,
+                self.world,
+                self.config.close_threshold_meters,
+                arrival_time,
+            )
+        return count
+
+    def step(self, query_time: int) -> RecognitionResult:
+        """Run recognition at a query time, recording wall-clock cost."""
+        started = time.perf_counter()
+        result = self.engine.step(query_time)
+        self.last_step_seconds = time.perf_counter() - started
+        return result
+
+    def alerts(self, result: RecognitionResult | None = None) -> list[Alert]:
+        """Flatten a recognition result into alert records."""
+        result = result or self.engine.last_result
+        if result is None:
+            return []
+        alerts: list[Alert] = []
+        for functor, instances in result.fluents.items():
+            for args, value_intervals in instances.items():
+                for ts, tf in value_intervals.get(True, []):
+                    alerts.append(
+                        Alert(
+                            kind=functor,
+                            area=args[0],
+                            since=ts,
+                            until=None if tf == OPEN else int(tf),
+                        )
+                    )
+        for functor, occurrences in result.events.items():
+            for args, timepoint in occurrences:
+                area = args[0]
+                mmsi = args[1] if len(args) > 1 else None
+                alerts.append(
+                    Alert(kind=functor, area=area, since=timepoint, mmsi=mmsi)
+                )
+        alerts.sort(key=lambda alert: (alert.since, alert.kind, alert.area))
+        return alerts

@@ -1,0 +1,228 @@
+"""The spatial-facts operation mode (Figure 11(b)).
+
+"The ME stream is augmented by timestamped facts indicating the spatial
+relations between vessels and (protected, forbidden fishing, shallow) areas.
+Each ME expressing the movement of a vessel is accompanied by facts stating
+whether the vessel is 'close' to some area of interest — the timestamp of
+these facts is the same as the timestamp of the ME.  For these experiments,
+the CE definitions were updated in order to make use of spatial facts (as
+opposed to RTEC computing on-demand spatial relations in the CE recognition
+process)." — Section 5.2.
+
+Facts are asserted as events ``close_to_<kind>(Vessel, Area)``; the variant
+rules join on them at the trigger's (already bound) timestamp, so rule
+evaluation performs no geometry at all.
+"""
+
+from repro.maritime.adapter import EVENT_FUNCTORS
+from repro.maritime.config import MaritimeConfig
+from repro.maritime.predicates import (
+    FishingStoppedIn,
+    VesselsStoppedIn,
+    make_close_predicate,
+    make_fishing_predicate,
+    make_shallow_predicate,
+)
+from repro.rtec.engine import ComputedFluent
+from repro.rtec.rules import (
+    End,
+    EventPattern,
+    Guard,
+    HappensAt,
+    HoldsAt,
+    Rule,
+    Start,
+    StaticJoin,
+    Var,
+    happens_head,
+    initiated,
+    terminated,
+)
+from repro.rtec.working_memory import WorkingMemory
+from repro.simulator.vessel import VesselSpec
+from repro.simulator.world import Area, AreaKind, WorldModel
+from repro.tracking.types import MovementEvent
+
+#: Fact functors per area category.
+FACT_WATCH = "close_to_watch"
+FACT_PROTECTED = "close_to_protected"
+FACT_FORBIDDEN = "close_to_forbidden"
+FACT_SHALLOW = "close_to_shallow"
+
+
+def spatial_facts_for(
+    event: MovementEvent,
+    world: WorldModel,
+    threshold_meters: float,
+    watch_areas: list[Area] | None = None,
+) -> list[tuple[str, tuple, int]]:
+    """The ``close_to`` facts accompanying one movement event.
+
+    Returns ``(functor, (mmsi, area_name), timestamp)`` triples, one per
+    (category, nearby-area) pair.
+    """
+    watch = watch_areas if watch_areas is not None else world.areas
+    categories = [
+        (FACT_WATCH, watch),
+        (FACT_PROTECTED, world.areas_of_kind(AreaKind.PROTECTED)),
+        (FACT_FORBIDDEN, world.areas_of_kind(AreaKind.FORBIDDEN_FISHING)),
+        (FACT_SHALLOW, world.areas_of_kind(AreaKind.SHALLOW)),
+    ]
+    facts = []
+    for functor, areas in categories:
+        for area in areas:
+            if area.polygon.is_close(event.lon, event.lat, threshold_meters):
+                facts.append((functor, (event.mmsi, area.name), event.timestamp))
+    return facts
+
+
+def assert_spatial_facts(
+    memory: WorkingMemory,
+    events: list[MovementEvent],
+    world: WorldModel,
+    threshold_meters: float,
+    arrival_time: int | None = None,
+    watch_areas: list[Area] | None = None,
+) -> int:
+    """Assert the facts for a slide's MEs; returns the fact count."""
+    count = 0
+    for event in events:
+        if event.event_type not in EVENT_FUNCTORS:
+            continue
+        for functor, args, timestamp in spatial_facts_for(
+            event, world, threshold_meters, watch_areas
+        ):
+            memory.assert_event(functor, args, timestamp, arrival=arrival_time)
+            count += 1
+    return count
+
+
+def build_spatial_fact_rules(
+    world: WorldModel,
+    specs: dict[int, VesselSpec],
+    config: MaritimeConfig | None = None,
+    watch_areas: list[Area] | None = None,
+) -> tuple[list[Rule], list[ComputedFluent]]:
+    """The CE definitions rewritten over precomputed spatial facts.
+
+    Mirrors :func:`repro.maritime.definitions.build_maritime_rules` rule for
+    rule, with each ``coord`` lookup + ``close`` computation replaced by a
+    bound-time join on the corresponding fact.
+    """
+    config = config or MaritimeConfig()
+    watch = watch_areas if watch_areas is not None else list(world.areas)
+    fishing = make_fishing_predicate(specs)
+    shallow = make_shallow_predicate(world.areas_of_kind(AreaKind.SHALLOW), specs)
+
+    vessel = Var("Vessel")
+    area = Var("Area")
+    count = Var("N")
+    is_fishing = StaticJoin(fishing, inputs=("Vessel",), outputs=(), name="fishing")
+
+    rules: list[Rule] = [
+        initiated(
+            "stopped", (vessel,), True,
+            [HappensAt(EventPattern("stop_start", (vessel,)))],
+        ),
+        terminated(
+            "stopped", (vessel,), True,
+            [HappensAt(EventPattern("stop_end", (vessel,)))],
+        ),
+        # Scenario 1 — suspicious(Area)
+        initiated(
+            "suspicious", (area,), True,
+            [
+                HappensAt(Start("stopped", (vessel,), True)),
+                HappensAt(EventPattern(FACT_WATCH, (vessel, area))),
+                HoldsAt("vesselsStoppedIn", (area,), count),
+                Guard(lambda n, k=config.suspicious_other_vessels: n >= k, ("N",)),
+            ],
+        ),
+        terminated(
+            "suspicious", (area,), True,
+            [
+                HappensAt(End("stopped", (vessel,), True)),
+                HappensAt(EventPattern(FACT_WATCH, (vessel, area))),
+                HoldsAt("vesselsStoppedIn", (area,), count),
+                Guard(
+                    lambda n, k=config.suspicious_other_vessels: n - 1 <= k, ("N",)
+                ),
+            ],
+        ),
+        # Scenario 2 — illegalFishing(Area)
+        initiated(
+            "illegalFishing", (area,), True,
+            [
+                HappensAt(Start("stopped", (vessel,), True)),
+                is_fishing,
+                HappensAt(EventPattern(FACT_FORBIDDEN, (vessel, area))),
+            ],
+        ),
+        initiated(
+            "illegalFishing", (area,), True,
+            [
+                HappensAt(EventPattern("slowMotion", (vessel,))),
+                is_fishing,
+                HappensAt(EventPattern(FACT_FORBIDDEN, (vessel, area))),
+            ],
+        ),
+        terminated(
+            "illegalFishing", (area,), True,
+            [
+                HappensAt(End("stopped", (vessel,), True)),
+                is_fishing,
+                HappensAt(EventPattern(FACT_FORBIDDEN, (vessel, area))),
+                HoldsAt("fishingStoppedIn", (area,), count),
+                Guard(lambda n: n - 1 <= 0, ("N",)),
+            ],
+        ),
+        terminated(
+            "illegalFishing", (area,), True,
+            [
+                HappensAt(EventPattern("speedChange", (vessel,))),
+                is_fishing,
+                HappensAt(EventPattern(FACT_FORBIDDEN, (vessel, area))),
+                HoldsAt("fishingStoppedIn", (area,), count),
+                Guard(lambda n: n == 0, ("N",)),
+            ],
+        ),
+        # Scenario 3 — illegalShipping
+        happens_head(
+            "illegalShipping", (area, vessel),
+            [
+                HappensAt(EventPattern("gap", (vessel,))),
+                HappensAt(EventPattern(FACT_PROTECTED, (vessel, area))),
+            ],
+        ),
+        # Scenario 4 — dangerousShipping
+        happens_head(
+            "dangerousShipping", (area, vessel),
+            [
+                HappensAt(EventPattern("slowMotion", (vessel,))),
+                HappensAt(EventPattern(FACT_SHALLOW, (vessel, area))),
+                StaticJoin(
+                    shallow, inputs=("Area", "Vessel"), outputs=(), name="shallow"
+                ),
+            ],
+        ),
+    ]
+
+    computed: list[ComputedFluent] = [
+        VesselsStoppedIn(
+            make_close_predicate(watch, config.close_threshold_meters),
+            area_names=[a.name for a in watch],
+            fact_functor=FACT_WATCH,
+        ),
+        FishingStoppedIn(
+            make_close_predicate(
+                world.areas_of_kind(AreaKind.FORBIDDEN_FISHING),
+                config.close_threshold_meters,
+            ),
+            fishing=lambda mmsi: fishing(mmsi),
+            area_names=[
+                a.name for a in world.areas_of_kind(AreaKind.FORBIDDEN_FISHING)
+            ],
+            fact_functor=FACT_FORBIDDEN,
+        ),
+    ]
+    return rules, computed

@@ -1,0 +1,36 @@
+"""A Moving Objects Database in the spirit of Hermes MOD (Sections 3.2-3.3).
+
+The paper archives reconstructed trajectories in Hermes, a MOD prototype on
+PostgreSQL.  This package provides the equivalent substrate on stdlib
+``sqlite3``: a staging table fed with delta critical points, periodic
+reconstruction into port-to-port trip segments, spatiotemporal queries
+(range, nearest neighbour, trajectory similarity), offline analytics
+(origin-destination matrices, travel statistics — Table 4), and a simple
+spatiotemporal clustering of trips.
+"""
+
+from repro.mod.analytics import (
+    OriginDestinationMatrix,
+    TripStatistics,
+    compute_od_matrix,
+    compute_trip_statistics,
+)
+from repro.mod.clustering import cluster_trips
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.queries import (
+    nearest_neighbors,
+    range_query,
+    trajectory_similarity,
+)
+
+__all__ = [
+    "MovingObjectDatabase",
+    "OriginDestinationMatrix",
+    "TripStatistics",
+    "cluster_trips",
+    "compute_od_matrix",
+    "compute_trip_statistics",
+    "nearest_neighbors",
+    "range_query",
+    "trajectory_similarity",
+]

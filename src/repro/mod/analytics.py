@@ -1,0 +1,142 @@
+"""Offline trajectory analytics (Section 3.3, Table 4).
+
+"A series of derived tables can offer historical information about traveled
+distances and travel times per ship, idle periods at dock, visited ports,
+etc.  By maintaining Origin-Destination matrices, we may identify
+connections between ports and compute aggregated statistics (duration,
+speed, frequency, etc.) for such itineraries."
+"""
+
+from dataclasses import dataclass, field
+
+from repro.mod.database import MovingObjectDatabase
+
+
+@dataclass(frozen=True)
+class TripStatistics:
+    """The aggregate rows of Table 4, computed over the archive."""
+
+    critical_points_in_trips: int
+    critical_points_in_staging: int
+    trip_count: int
+    vessels_with_trips: int
+    average_trips_per_vessel: float
+    average_points_per_trip: float
+    average_travel_time_seconds: float
+    average_distance_meters: float
+
+    def format_table(self) -> str:
+        """Human-readable rendering in the layout of Table 4."""
+        hours, remainder = divmod(int(self.average_travel_time_seconds), 3600)
+        days, hours = divmod(hours, 24)
+        minutes, seconds = divmod(remainder, 60)
+        rows = [
+            ("Critical points in reconstructed trajectories",
+             f"{self.critical_points_in_trips:,}"),
+            ("Critical points remaining in staging area",
+             f"{self.critical_points_in_staging:,}"),
+            ("Number of trips between ports", f"{self.trip_count:,}"),
+            ("Average trips per vessel", f"{self.average_trips_per_vessel:.1f}"),
+            ("Average number of critical points per trip",
+             f"{self.average_points_per_trip:.0f}"),
+            ("Average travel time per trip",
+             f"{days} day(s) {hours:02d}:{minutes:02d}:{seconds:02d}"),
+            ("Average traveled distance per trip",
+             f"{self.average_distance_meters / 1000.0:.3f}km"),
+        ]
+        width = max(len(label) for label, _ in rows) + 2
+        return "\n".join(f"{label:<{width}}{value}" for label, value in rows)
+
+
+def compute_trip_statistics(mod: MovingObjectDatabase) -> TripStatistics:
+    """Aggregate the archive into the Table 4 statistics."""
+    connection = mod.connection
+    (points_in_trips,) = connection.execute(
+        "SELECT COUNT(*) FROM trip_points"
+    ).fetchone()
+    (points_staged,) = connection.execute(
+        "SELECT COUNT(*) FROM staging"
+    ).fetchone()
+    (trip_count,) = connection.execute("SELECT COUNT(*) FROM trips").fetchone()
+    (vessel_count,) = connection.execute(
+        "SELECT COUNT(DISTINCT mmsi) FROM trips"
+    ).fetchone()
+    row = connection.execute(
+        "SELECT AVG(point_count), AVG(end_time - start_time), "
+        "AVG(distance_meters) FROM trips"
+    ).fetchone()
+    average_points, average_time, average_distance = (
+        (row[0] or 0.0, row[1] or 0.0, row[2] or 0.0) if row else (0.0, 0.0, 0.0)
+    )
+    return TripStatistics(
+        critical_points_in_trips=points_in_trips,
+        critical_points_in_staging=points_staged,
+        trip_count=trip_count,
+        vessels_with_trips=vessel_count,
+        average_trips_per_vessel=(
+            trip_count / vessel_count if vessel_count else 0.0
+        ),
+        average_points_per_trip=average_points,
+        average_travel_time_seconds=average_time,
+        average_distance_meters=average_distance,
+    )
+
+
+@dataclass
+class OriginDestinationMatrix:
+    """Aggregated itinerary statistics between port pairs."""
+
+    #: (origin, destination) -> dict of aggregates.
+    cells: dict[tuple[str | None, str], dict] = field(default_factory=dict)
+
+    def trip_count(self, origin: str | None, destination: str) -> int:
+        """Trips observed on one itinerary."""
+        cell = self.cells.get((origin, destination))
+        return cell["trips"] if cell else 0
+
+    def busiest(self, top: int = 5) -> list[tuple[tuple[str | None, str], int]]:
+        """The most traveled itineraries."""
+        ranked = sorted(
+            ((pair, cell["trips"]) for pair, cell in self.cells.items()),
+            key=lambda item: -item[1],
+        )
+        return ranked[:top]
+
+
+def compute_od_matrix(mod: MovingObjectDatabase) -> OriginDestinationMatrix:
+    """Build the origin-destination matrix from the trips table."""
+    cursor = mod.connection.execute(
+        "SELECT origin_port, destination_port, COUNT(*), "
+        "AVG(end_time - start_time), AVG(distance_meters) "
+        "FROM trips GROUP BY origin_port, destination_port"
+    )
+    matrix = OriginDestinationMatrix()
+    for origin, destination, trips, avg_time, avg_distance in cursor.fetchall():
+        matrix.cells[(origin, destination)] = {
+            "trips": trips,
+            "average_travel_time_seconds": avg_time,
+            "average_distance_meters": avg_distance,
+        }
+    return matrix
+
+
+def vessel_travel_summary(mod: MovingObjectDatabase, mmsi: int) -> dict:
+    """Per-vessel historical aggregates (distances, times, ports visited)."""
+    row = mod.connection.execute(
+        "SELECT COUNT(*), COALESCE(SUM(distance_meters), 0), "
+        "COALESCE(SUM(end_time - start_time), 0) FROM trips WHERE mmsi = ?",
+        (mmsi,),
+    ).fetchone()
+    ports = mod.connection.execute(
+        "SELECT DISTINCT destination_port FROM trips WHERE mmsi = ? "
+        "UNION SELECT DISTINCT origin_port FROM trips "
+        "WHERE mmsi = ? AND origin_port IS NOT NULL",
+        (mmsi, mmsi),
+    ).fetchall()
+    return {
+        "mmsi": mmsi,
+        "trips": row[0],
+        "total_distance_meters": row[1],
+        "total_travel_time_seconds": row[2],
+        "ports_visited": sorted(port for (port,) in ports),
+    }

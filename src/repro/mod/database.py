@@ -1,0 +1,295 @@
+"""The Moving Objects Database: staging, reconstruction, retrieval.
+
+Mirrors the offline half of Figure 1: batches of delta critical points are
+inserted into the staging table; :meth:`MovingObjectDatabase.reconstruct`
+periodically converts each vessel's staged sequence into disjoint trip
+segments ("a long journey breaks up into smaller trips between ports"),
+leaving open-ended residues staged until a destination port is identified.
+Only the last segment per vessel ever receives updates, which is the
+property Hermes exploits to keep update costs low.
+"""
+
+import sqlite3
+from collections.abc import Iterable
+
+from repro.mod.schema import SCHEMA_STATEMENTS
+from repro.reconstruct.trips import Trip, TripSegmenter
+from repro.simulator.vessel import VesselSpec
+from repro.simulator.world import Port
+from repro.tracking.types import CriticalPoint, MovementEventType
+
+
+def _encode_annotations(annotations: Iterable[MovementEventType]) -> str:
+    return ",".join(sorted(a.value for a in annotations))
+
+
+def _decode_annotations(encoded: str) -> frozenset[MovementEventType]:
+    if not encoded:
+        return frozenset()
+    return frozenset(MovementEventType(value) for value in encoded.split(","))
+
+
+class MovingObjectDatabase:
+    """SQLite-backed archive of trajectories and trips.
+
+    Parameters
+    ----------
+    path:
+        Database file path, or ``":memory:"`` (default) for tests and
+        benchmarks.
+    ports:
+        Known port polygons used by trip segmentation.
+    """
+
+    def __init__(self, ports: list[Port], path: str = ":memory:"):
+        self._connection = sqlite3.connect(path)
+        self._connection.execute("PRAGMA journal_mode = MEMORY")
+        self._connection.execute("PRAGMA synchronous = OFF")
+        for statement in SCHEMA_STATEMENTS:
+            self._connection.execute(statement)
+        self._connection.commit()
+        self._segmenter = TripSegmenter(ports)
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "MovingObjectDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # static data
+    # ------------------------------------------------------------------
+
+    def load_vessels(self, specs: Iterable[VesselSpec]) -> int:
+        """Insert or replace static vessel records."""
+        rows = [
+            (spec.mmsi, spec.vessel_type.value, spec.draft_meters, int(spec.is_fishing))
+            for spec in specs
+        ]
+        self._connection.executemany(
+            "INSERT OR REPLACE INTO vessels (mmsi, vessel_type, draft_meters, "
+            "is_fishing) VALUES (?, ?, ?, ?)",
+            rows,
+        )
+        self._connection.commit()
+        return len(rows)
+
+    def vessel(self, mmsi: int) -> tuple | None:
+        """One static vessel row, or ``None``."""
+        cursor = self._connection.execute(
+            "SELECT mmsi, vessel_type, draft_meters, is_fishing FROM vessels "
+            "WHERE mmsi = ?",
+            (mmsi,),
+        )
+        return cursor.fetchone()
+
+    # ------------------------------------------------------------------
+    # staging (the online insert path)
+    # ------------------------------------------------------------------
+
+    def stage_points(self, points: list[CriticalPoint]) -> int:
+        """Append a batch of delta critical points to the staging table."""
+        rows = [
+            (
+                point.mmsi,
+                point.lon,
+                point.lat,
+                point.timestamp,
+                _encode_annotations(point.annotations),
+                point.speed_mps,
+                point.heading_degrees,
+                point.duration_seconds,
+            )
+            for point in points
+        ]
+        self._connection.executemany(
+            "INSERT INTO staging (mmsi, lon, lat, timestamp, annotations, "
+            "speed_mps, heading_degrees, duration_seconds) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self._connection.commit()
+        return len(rows)
+
+    def staged_count(self) -> int:
+        """Rows currently in the staging table."""
+        cursor = self._connection.execute("SELECT COUNT(*) FROM staging")
+        return cursor.fetchone()[0]
+
+    def staged_points(self, mmsi: int) -> list[CriticalPoint]:
+        """Staged points of one vessel, in timestamp order."""
+        cursor = self._connection.execute(
+            "SELECT mmsi, lon, lat, timestamp, annotations, speed_mps, "
+            "heading_degrees, duration_seconds FROM staging "
+            "WHERE mmsi = ? ORDER BY timestamp",
+            (mmsi,),
+        )
+        return [self._row_to_point(row) for row in cursor.fetchall()]
+
+    # ------------------------------------------------------------------
+    # reconstruction (the offline path)
+    # ------------------------------------------------------------------
+
+    def reconstruct(self, timings: dict | None = None) -> int:
+        """Segment every vessel's staged points into trips; returns the
+        number of new trips loaded.
+
+        Points belonging to completed trips are removed from staging;
+        open-ended residues stay staged, awaiting a destination port
+        ("these points will be piling up in the staging table").
+
+        When ``timings`` is given, the seconds spent in segmentation and in
+        loading trips are accumulated under ``"reconstruction"`` and
+        ``"loading"`` — the phase split of Figure 10.
+        """
+        import time as _time
+
+        cursor = self._connection.execute("SELECT DISTINCT mmsi FROM staging")
+        vessels = [row[0] for row in cursor.fetchall()]
+        new_trips = 0
+        reconstruction_seconds = 0.0
+        loading_seconds = 0.0
+        for mmsi in vessels:
+            points = self.staged_points(mmsi)
+            started = _time.perf_counter()
+            trips, residue = self._segmenter.segment(points)
+            reconstruction_seconds += _time.perf_counter() - started
+            if not trips:
+                continue
+            started = _time.perf_counter()
+            for trip in trips:
+                self._insert_trip(trip)
+                new_trips += 1
+            # Everything before the residue has been assigned to a trip.
+            cutoff = min(
+                (p.timestamp for p in residue),
+                default=points[-1].timestamp + 1,
+            )
+            self._connection.execute(
+                "DELETE FROM staging WHERE mmsi = ? AND timestamp < ?",
+                (mmsi, cutoff),
+            )
+            loading_seconds += _time.perf_counter() - started
+        started = _time.perf_counter()
+        self._connection.commit()
+        loading_seconds += _time.perf_counter() - started
+        if timings is not None:
+            timings["reconstruction"] = (
+                timings.get("reconstruction", 0.0) + reconstruction_seconds
+            )
+            timings["loading"] = timings.get("loading", 0.0) + loading_seconds
+        return new_trips
+
+    def _insert_trip(self, trip: Trip) -> None:
+        cursor = self._connection.execute(
+            "INSERT INTO trips (mmsi, origin_port, destination_port, "
+            "start_time, end_time, distance_meters, point_count) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                trip.mmsi,
+                trip.origin_port,
+                trip.destination_port,
+                trip.start_time,
+                trip.end_time,
+                trip.distance_meters,
+                trip.point_count,
+            ),
+        )
+        trip_id = cursor.lastrowid
+        self._connection.executemany(
+            "INSERT INTO trip_points (trip_id, seq, lon, lat, timestamp, "
+            "annotations, speed_mps, duration_seconds) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            [
+                (
+                    trip_id,
+                    seq,
+                    point.lon,
+                    point.lat,
+                    point.timestamp,
+                    _encode_annotations(point.annotations),
+                    point.speed_mps,
+                    point.duration_seconds,
+                )
+                for seq, point in enumerate(trip.points)
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+
+    def trip_count(self) -> int:
+        """Number of archived trips."""
+        cursor = self._connection.execute("SELECT COUNT(*) FROM trips")
+        return cursor.fetchone()[0]
+
+    def trips_of_vessel(self, mmsi: int) -> list[dict]:
+        """Archived trips of one vessel, as plain dicts."""
+        cursor = self._connection.execute(
+            "SELECT trip_id, mmsi, origin_port, destination_port, start_time, "
+            "end_time, distance_meters, point_count FROM trips "
+            "WHERE mmsi = ? ORDER BY start_time",
+            (mmsi,),
+        )
+        return [self._trip_row_to_dict(row) for row in cursor.fetchall()]
+
+    def all_trips(self) -> list[dict]:
+        """Every archived trip."""
+        cursor = self._connection.execute(
+            "SELECT trip_id, mmsi, origin_port, destination_port, start_time, "
+            "end_time, distance_meters, point_count FROM trips ORDER BY trip_id"
+        )
+        return [self._trip_row_to_dict(row) for row in cursor.fetchall()]
+
+    def trip_points(self, trip_id: int) -> list[CriticalPoint]:
+        """Geometry of one trip, as critical points in sequence order."""
+        cursor = self._connection.execute(
+            "SELECT t.mmsi, p.lon, p.lat, p.timestamp, p.annotations, "
+            "p.speed_mps, 0.0, p.duration_seconds "
+            "FROM trip_points p JOIN trips t ON t.trip_id = p.trip_id "
+            "WHERE p.trip_id = ? ORDER BY p.seq",
+            (trip_id,),
+        )
+        return [self._row_to_point(row) for row in cursor.fetchall()]
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The raw connection, for the query and analytics helpers."""
+        return self._connection
+
+    # ------------------------------------------------------------------
+    # row mapping
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _row_to_point(row: tuple) -> CriticalPoint:
+        mmsi, lon, lat, timestamp, annotations, speed, heading, duration = row
+        return CriticalPoint(
+            mmsi=mmsi,
+            lon=lon,
+            lat=lat,
+            timestamp=timestamp,
+            annotations=_decode_annotations(annotations),
+            speed_mps=speed,
+            heading_degrees=heading,
+            duration_seconds=duration,
+        )
+
+    @staticmethod
+    def _trip_row_to_dict(row: tuple) -> dict:
+        keys = (
+            "trip_id",
+            "mmsi",
+            "origin_port",
+            "destination_port",
+            "start_time",
+            "end_time",
+            "distance_meters",
+            "point_count",
+        )
+        return dict(zip(keys, row))

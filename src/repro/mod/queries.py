@@ -1,0 +1,131 @@
+"""Spatiotemporal queries over archived trips.
+
+Hermes MOD "defines a trajectory data type as well as a collection of
+spatiotemporal operations (range, nearest neighbor, similarity, etc.)"
+(Section 6).  The equivalents here operate on the trip tables: a range query
+over a space-time box, k-nearest-neighbour search against a query point at a
+time instant, and a synchronized-Euclidean trajectory similarity — the
+distance notion also used by the approximation-error study.
+"""
+
+from dataclasses import dataclass
+
+from repro.geo.haversine import haversine_meters
+from repro.geo.interpolate import synchronize_track
+from repro.geo.polygon import BoundingBox
+from repro.mod.database import MovingObjectDatabase
+
+
+@dataclass(frozen=True)
+class RangeHit:
+    """One point-in-range result."""
+
+    trip_id: int
+    mmsi: int
+    lon: float
+    lat: float
+    timestamp: int
+
+
+def range_query(
+    mod: MovingObjectDatabase,
+    box: BoundingBox,
+    time_from: int,
+    time_to: int,
+) -> list[RangeHit]:
+    """Trip points inside a spatial box during a time interval."""
+    cursor = mod.connection.execute(
+        "SELECT p.trip_id, t.mmsi, p.lon, p.lat, p.timestamp "
+        "FROM trip_points p JOIN trips t ON t.trip_id = p.trip_id "
+        "WHERE p.lon BETWEEN ? AND ? AND p.lat BETWEEN ? AND ? "
+        "AND p.timestamp BETWEEN ? AND ? ORDER BY p.timestamp",
+        (box.min_lon, box.max_lon, box.min_lat, box.max_lat, time_from, time_to),
+    )
+    return [RangeHit(*row) for row in cursor.fetchall()]
+
+
+def nearest_neighbors(
+    mod: MovingObjectDatabase,
+    lon: float,
+    lat: float,
+    timestamp: int,
+    k: int = 1,
+    time_tolerance: int = 1800,
+) -> list[tuple[int, float]]:
+    """The k vessels nearest to a location around a time instant.
+
+    Considers each vessel's trip point closest in time within the tolerance;
+    returns ``(mmsi, distance_meters)`` pairs sorted by distance.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    cursor = mod.connection.execute(
+        "SELECT t.mmsi, p.lon, p.lat, p.timestamp "
+        "FROM trip_points p JOIN trips t ON t.trip_id = p.trip_id "
+        "WHERE p.timestamp BETWEEN ? AND ?",
+        (timestamp - time_tolerance, timestamp + time_tolerance),
+    )
+    best_per_vessel: dict[int, tuple[int, float]] = {}
+    for mmsi, p_lon, p_lat, p_time in cursor.fetchall():
+        time_gap = abs(p_time - timestamp)
+        current = best_per_vessel.get(mmsi)
+        if current is None or time_gap < current[0]:
+            distance = haversine_meters(lon, lat, p_lon, p_lat)
+            best_per_vessel[mmsi] = (time_gap, distance)
+    ranked = sorted(
+        ((mmsi, distance) for mmsi, (_, distance) in best_per_vessel.items()),
+        key=lambda item: item[1],
+    )
+    return ranked[:k]
+
+
+def trajectory_similarity(
+    mod: MovingObjectDatabase, trip_id_a: int, trip_id_b: int, samples: int = 20
+) -> float:
+    """Synchronized-Euclidean distance between two trips, in meters.
+
+    Both trips are resampled at ``samples`` instants spread over their
+    *relative* durations (so a morning and an evening run of the same route
+    compare spatially), and the mean Haversine deviation over the sample
+    pairs is returned.  Lower is more similar.
+    """
+    if samples < 2:
+        raise ValueError(f"samples must be >= 2, got {samples}")
+    track_a = _dedupe_times([p.as_timed_point() for p in mod.trip_points(trip_id_a)])
+    track_b = _dedupe_times([p.as_timed_point() for p in mod.trip_points(trip_id_b)])
+    if len(track_a) < 2 or len(track_b) < 2:
+        raise ValueError("both trips need at least two points")
+
+    def resample(track: list[tuple[float, float, int]]) -> list[tuple[float, float]]:
+        t0, t1 = track[0][2], track[-1][2]
+        timestamps = [
+            int(t0 + (t1 - t0) * index / (samples - 1)) for index in range(samples)
+        ]
+        return synchronize_track(timestamps, track)
+
+    points_a = resample(track_a)
+    points_b = resample(track_b)
+    total = sum(
+        haversine_meters(a[0], a[1], b[0], b[1])
+        for a, b in zip(points_a, points_b)
+    )
+    return total / samples
+
+
+def _dedupe_times(
+    track: list[tuple[float, float, int]]
+) -> list[tuple[float, float, int]]:
+    """Keep the last point per timestamp.
+
+    A trip's geometry may carry two critical points at the same instant —
+    e.g. a gap start emitted at a location that an earlier slide already
+    reported as a turn — and interpolation needs strictly increasing times.
+    """
+    track = sorted(track, key=lambda point: point[2])
+    deduplicated: list[tuple[float, float, int]] = []
+    for point in track:
+        if deduplicated and deduplicated[-1][2] == point[2]:
+            deduplicated[-1] = point
+        else:
+            deduplicated.append(point)
+    return deduplicated

@@ -1,0 +1,78 @@
+"""Relational schema of the Moving Objects Database.
+
+Four tables mirror the paper's data flow:
+
+* ``vessels`` — static vessel records (type, draft, fishing designation);
+* ``staging`` — the on-disk staging table of delta critical points evicted
+  from the sliding window, awaiting trip assignment;
+* ``trips`` — reconstructed voyage segments with semantic port enrichment;
+* ``trip_points`` — the critical points composing each trip's geometry.
+
+Indexes support the online insert path (per-vessel staging lookups) and the
+offline query path (per-vessel and per-port trip scans, time-ordered point
+retrieval).
+"""
+
+SCHEMA_STATEMENTS = [
+    """
+    CREATE TABLE IF NOT EXISTS vessels (
+        mmsi         INTEGER PRIMARY KEY,
+        vessel_type  TEXT NOT NULL,
+        draft_meters REAL NOT NULL,
+        is_fishing   INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS staging (
+        id               INTEGER PRIMARY KEY AUTOINCREMENT,
+        mmsi             INTEGER NOT NULL,
+        lon              REAL NOT NULL,
+        lat              REAL NOT NULL,
+        timestamp        INTEGER NOT NULL,
+        annotations      TEXT NOT NULL,
+        speed_mps        REAL NOT NULL DEFAULT 0,
+        heading_degrees  REAL NOT NULL DEFAULT 0,
+        duration_seconds INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_staging_vessel_time
+        ON staging (mmsi, timestamp)
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS trips (
+        trip_id          INTEGER PRIMARY KEY AUTOINCREMENT,
+        mmsi             INTEGER NOT NULL,
+        origin_port      TEXT,
+        destination_port TEXT NOT NULL,
+        start_time       INTEGER NOT NULL,
+        end_time         INTEGER NOT NULL,
+        distance_meters  REAL NOT NULL,
+        point_count      INTEGER NOT NULL
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_trips_vessel ON trips (mmsi, start_time)
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_trips_ports
+        ON trips (origin_port, destination_port)
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS trip_points (
+        trip_id          INTEGER NOT NULL REFERENCES trips (trip_id),
+        seq              INTEGER NOT NULL,
+        lon              REAL NOT NULL,
+        lat              REAL NOT NULL,
+        timestamp        INTEGER NOT NULL,
+        annotations      TEXT NOT NULL,
+        speed_mps        REAL NOT NULL DEFAULT 0,
+        duration_seconds INTEGER NOT NULL DEFAULT 0,
+        PRIMARY KEY (trip_id, seq)
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_trip_points_time
+        ON trip_points (timestamp)
+    """,
+]

@@ -1,0 +1,20 @@
+"""End-to-end wiring of the surveillance system (Figure 1).
+
+:class:`SurveillanceSystem` connects the components built by the other
+packages into the paper's processing scheme: AIS stream (or pre-decoded
+positional tuples) -> Data Scanner -> Mobility Tracker -> Compressor ->
+{Trajectory Exporter, Complex Event Recognition, staging -> Moving Objects
+Database}.  Every phase is timed per window slide, which is the
+instrumentation behind Figures 6, 7, 10 and 11.
+"""
+
+from repro.pipeline.config import SystemConfig
+from repro.pipeline.metrics import PhaseTimings, SlideReport
+from repro.pipeline.system import SurveillanceSystem
+
+__all__ = [
+    "PhaseTimings",
+    "SlideReport",
+    "SurveillanceSystem",
+    "SystemConfig",
+]

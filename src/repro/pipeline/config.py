@@ -1,0 +1,41 @@
+"""System-level configuration combining all component settings."""
+
+from dataclasses import dataclass, field
+
+from repro.maritime.config import MaritimeConfig
+from repro.tracking.config import TrackingParameters
+from repro.tracking.window import WindowSpec
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One place for every knob of the surveillance pipeline.
+
+    ``window`` drives both the tracking synopsis window and the stream
+    replayer slide; ``recognition_window_seconds`` defaults to the same
+    range but can be set independently, since the CE experiments of
+    Figure 11 sweep the RTEC window separately.
+    """
+
+    window: WindowSpec = field(
+        default_factory=lambda: WindowSpec.of_hours(1, 1 / 6)
+    )
+    tracking: TrackingParameters = field(default_factory=TrackingParameters)
+    maritime: MaritimeConfig = field(default_factory=MaritimeConfig)
+    recognition_window_seconds: int | None = None
+    #: Run CE recognition with the spatial-facts stream of Figure 11(b).
+    spatial_facts: bool = False
+    #: Disable the CE recognition phase entirely (the Figure 10 experiment
+    #: measures only the trajectory-maintenance phases).
+    enable_recognition: bool = True
+    #: Reconstruct staged trips into the MOD at every slide.
+    reconstruct_each_slide: bool = True
+    #: Path of the MOD database file (":memory:" keeps everything in RAM).
+    database_path: str = ":memory:"
+
+    @property
+    def effective_recognition_window(self) -> int:
+        """The RTEC window range in seconds."""
+        if self.recognition_window_seconds is not None:
+            return self.recognition_window_seconds
+        return self.window.range_seconds

@@ -1,0 +1,55 @@
+"""Per-slide instrumentation of the pipeline phases.
+
+Figure 10 plots "the average processing cost per window slide for all four
+phases" — tracking, staging, reconstruction, loading — and Figures 6/7/11
+report the tracking and recognition costs separately.  These records carry
+exactly those measurements.
+"""
+
+from dataclasses import dataclass, field
+
+#: Phase keys in the order Figure 10 stacks them.
+PHASES = ("tracking", "staging", "reconstruction", "loading", "recognition")
+
+
+@dataclass
+class PhaseTimings:
+    """Seconds spent per phase, accumulated over slides."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+    slides: int = 0
+
+    def record(self, slide_seconds: dict[str, float]) -> None:
+        """Accumulate one slide's timings."""
+        for phase, value in slide_seconds.items():
+            self.seconds[phase] = self.seconds.get(phase, 0.0) + value
+        self.slides += 1
+
+    def average(self, phase: str) -> float:
+        """Mean seconds per slide for a phase."""
+        if self.slides == 0:
+            return 0.0
+        return self.seconds.get(phase, 0.0) / self.slides
+
+    def averages(self) -> dict[str, float]:
+        """Mean seconds per slide for every recorded phase."""
+        return {phase: self.average(phase) for phase in self.seconds}
+
+
+@dataclass(frozen=True)
+class SlideReport:
+    """Everything one window slide produced."""
+
+    query_time: int
+    raw_positions: int
+    movement_events: int
+    fresh_critical_points: int
+    expired_critical_points: int
+    recognized_complex_events: int
+    alerts: tuple
+    timings: dict[str, float]
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock spent across all phases of the slide."""
+        return sum(self.timings.values())

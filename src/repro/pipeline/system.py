@@ -1,0 +1,164 @@
+"""The assembled maritime surveillance system (Figure 1).
+
+Per window slide, :meth:`SurveillanceSystem.process_slide`:
+
+1. runs the Mobility Tracker over the fresh positional batch (detecting
+   trajectory events in O(1)/O(m) per tuple),
+2. runs the Compressor, emitting fresh critical points into the window
+   synopsis and collecting expired "delta" points,
+3. ships the delta points to the staging table and (optionally)
+   reconstructs/loads trips in the Moving Objects Database,
+4. feeds the critical movement events to the Complex Event Recognition
+   module and runs recognition at the slide's query time,
+
+timing each phase.  Call :meth:`finalize` at end-of-stream to flush open
+stops and drain the synopsis into the archive.
+"""
+
+import time
+
+from repro.ais.stream import PositionalTuple
+from repro.maritime.recognizer import Alert, MaritimeRecognizer
+from repro.mod.database import MovingObjectDatabase
+from repro.pipeline.config import SystemConfig
+from repro.pipeline.metrics import PhaseTimings, SlideReport
+from repro.simulator.vessel import VesselSpec
+from repro.simulator.world import WorldModel
+from repro.tracking.compressor import Compressor
+from repro.tracking.exporter import TrajectoryExporter
+from repro.tracking.tracker import MobilityTracker
+from repro.tracking.types import CriticalPoint
+
+
+class SurveillanceSystem:
+    """Streaming pipeline from positional tuples to alerts and archives."""
+
+    def __init__(
+        self,
+        world: WorldModel,
+        specs: dict[int, VesselSpec],
+        config: SystemConfig | None = None,
+    ):
+        self.world = world
+        self.config = config or SystemConfig()
+        self.tracker = MobilityTracker(self.config.tracking)
+        self.compressor = Compressor(self.config.window)
+        self.recognizer = MaritimeRecognizer(
+            world,
+            specs,
+            window_seconds=self.config.effective_recognition_window,
+            config=self.config.maritime,
+            spatial_facts=self.config.spatial_facts,
+        )
+        self.database = MovingObjectDatabase(
+            world.ports, path=self.config.database_path
+        )
+        self.database.load_vessels(specs.values())
+        self.exporter = TrajectoryExporter()
+        self.timings = PhaseTimings()
+        self._last_query_time: int | None = None
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+
+    def process_slide(
+        self, batch: list[PositionalTuple], query_time: int
+    ) -> SlideReport:
+        """Process one slide's worth of arrivals; returns the slide report."""
+        slide_timings: dict[str, float] = {}
+
+        started = time.perf_counter()
+        events = self.tracker.process_batch(batch)
+        fresh, expired = self.compressor.slide(
+            events, query_time, raw_position_count=len(batch)
+        )
+        slide_timings["tracking"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        if expired:
+            self.database.stage_points(expired)
+        slide_timings["staging"] = time.perf_counter() - started
+
+        slide_timings["reconstruction"] = 0.0
+        slide_timings["loading"] = 0.0
+        if self.config.reconstruct_each_slide and expired:
+            self.database.reconstruct(slide_timings)
+
+        recognized = 0
+        alerts: tuple = ()
+        if self.config.enable_recognition:
+            started = time.perf_counter()
+            self.recognizer.ingest(events, arrival_time=query_time)
+            result = self.recognizer.step(query_time)
+            slide_timings["recognition"] = time.perf_counter() - started
+            recognized = result.complex_event_count()
+            alerts = tuple(self.recognizer.alerts(result))
+
+        self.timings.record(slide_timings)
+        self._last_query_time = query_time
+        return SlideReport(
+            query_time=query_time,
+            raw_positions=len(batch),
+            movement_events=len(events),
+            fresh_critical_points=len(fresh),
+            expired_critical_points=len(expired),
+            recognized_complex_events=recognized,
+            alerts=alerts,
+            timings=slide_timings,
+        )
+
+    def finalize(self) -> SlideReport | None:
+        """Flush open long-lasting events and archive the whole synopsis.
+
+        Run after the input stream is exhausted, as the paper does before
+        computing Table 4 ("this computation took place after the input
+        stream was exhausted and all critical points were detected").
+        """
+        if self._last_query_time is None:
+            return None
+        query_time = self._last_query_time + self.config.window.slide_seconds
+        events = self.tracker.finalize()
+        fresh, expired = self.compressor.slide(events, query_time)
+        remaining = self.compressor.synopsis()
+        # Evict everything still in the window into the archive.
+        self.database.stage_points(expired + remaining)
+        self.database.reconstruct()
+        recognized = 0
+        alerts: tuple = ()
+        if self.config.enable_recognition:
+            self.recognizer.ingest(events, arrival_time=query_time)
+            result = self.recognizer.step(query_time)
+            recognized = result.complex_event_count()
+            alerts = tuple(self.recognizer.alerts(result))
+        slide_timings = {"tracking": 0.0, "staging": 0.0, "recognition": 0.0}
+        return SlideReport(
+            query_time=query_time,
+            raw_positions=0,
+            movement_events=len(events),
+            fresh_critical_points=len(fresh),
+            expired_critical_points=len(expired) + len(remaining),
+            recognized_complex_events=recognized,
+            alerts=alerts,
+            timings=slide_timings,
+        )
+
+    # ------------------------------------------------------------------
+    # outputs
+    # ------------------------------------------------------------------
+
+    def current_synopsis(self, mmsi: int | None = None) -> list[CriticalPoint]:
+        """Critical points currently in the sliding window."""
+        return self.compressor.synopsis(mmsi)
+
+    def export_kml(self) -> str:
+        """KML rendering of the current window synopsis."""
+        return self.exporter.to_kml(self.current_synopsis())
+
+    def export_geojson(self) -> dict:
+        """GeoJSON rendering of the current window synopsis."""
+        return self.exporter.to_geojson(self.current_synopsis())
+
+    def alerts(self) -> list[Alert]:
+        """Alerts from the most recent recognition step."""
+        return self.recognizer.alerts()

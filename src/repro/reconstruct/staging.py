@@ -1,0 +1,60 @@
+"""The staging area for "delta" critical points (Section 3.2).
+
+"Once the window slides forward, expiring critical points are transferred in
+an intermediate staging table on disk.  So, this table temporarily records
+all recent 'delta' changes, i.e., critical points evicted from the window,
+but not yet admitted in disk-based trajectories."
+
+The in-memory representation here mirrors that staging table; the MOD layer
+(:mod:`repro.mod`) persists and drains it into trips.  Information in the
+database deliberately lags the live window by omega, avoiding duplication
+between memory and disk.
+"""
+
+from collections import defaultdict
+
+from repro.tracking.types import CriticalPoint
+
+
+class StagingArea:
+    """Accumulates expired critical points per vessel until drained."""
+
+    def __init__(self) -> None:
+        self._pending: dict[int, list[CriticalPoint]] = defaultdict(list)
+        self.total_staged = 0
+        self.total_drained = 0
+
+    def stage(self, points: list[CriticalPoint]) -> int:
+        """Add a batch of expired points; returns the batch size."""
+        for point in points:
+            self._pending[point.mmsi].append(point)
+        self.total_staged += len(points)
+        return len(points)
+
+    def pending_count(self) -> int:
+        """Points currently awaiting reconstruction."""
+        return sum(len(points) for points in self._pending.values())
+
+    def vessels(self) -> list[int]:
+        """Vessels with pending points."""
+        return list(self._pending)
+
+    def peek(self, mmsi: int) -> list[CriticalPoint]:
+        """Pending points of one vessel, in timestamp order, not removed."""
+        return sorted(self._pending.get(mmsi, ()), key=lambda p: p.timestamp)
+
+    def drain(self, mmsi: int | None = None) -> dict[int, list[CriticalPoint]]:
+        """Remove and return pending points (one vessel or all).
+
+        Returned per-vessel lists are timestamp-ordered.
+        """
+        if mmsi is not None:
+            keys = [mmsi] if mmsi in self._pending else []
+        else:
+            keys = list(self._pending)
+        drained: dict[int, list[CriticalPoint]] = {}
+        for key in keys:
+            points = sorted(self._pending.pop(key), key=lambda p: p.timestamp)
+            drained[key] = points
+            self.total_drained += len(points)
+        return drained

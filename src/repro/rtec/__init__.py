@@ -1,0 +1,78 @@
+"""RTEC: the Event Calculus for Run-Time reasoning (Section 4).
+
+A from-scratch Python implementation of the engine the paper runs in YAP
+Prolog.  The Event Calculus is a logic-programming formalism for reasoning
+about events and their effects over linear integer time: *fluents* hold
+values over maximal intervals, events *initiate* and *terminate* those
+values, and the law of inertia carries values forward until broken.
+
+The engine supports:
+
+* declarative ``initiatedAt`` / ``terminatedAt`` rules over patterns of
+  ``happensAt`` (events), ``holdsAt`` (fluent values), static predicates and
+  guards, with logical variables and unification;
+* derived events defined by ``happensAt`` rules (e.g. ``illegalShipping``);
+* built-in ``start(F=V)`` / ``end(F=V)`` events at the endpoints of maximal
+  intervals;
+* computed fluents implemented in Python (e.g. the ``vesselsStoppedIn``
+  counter of rule-set (3));
+* a windowing working memory: recognition runs at query times ``Q1, Q2, …``,
+  considers events within ``(Qi - omega, Qi]``, forgets older ones, and
+  tolerates delayed/out-of-order arrivals exactly as in Figure 5;
+* dependency stratification so fluents are evaluated bottom-up.
+"""
+
+from repro.rtec.engine import RTEC, RecognitionResult
+from repro.rtec.intervals import (
+    Interval,
+    OPEN,
+    clip_intervals,
+    holds_at,
+    intervals_from_points,
+    union_intervals,
+)
+from repro.rtec.rules import (
+    End,
+    EventPattern,
+    Guard,
+    HappensAt,
+    HoldsAt,
+    NotHappensAt,
+    NotHoldsAt,
+    Rule,
+    Start,
+    StaticJoin,
+    happens_head,
+    initiated,
+    terminated,
+)
+from repro.rtec.terms import Var, bind, unify
+from repro.rtec.working_memory import WorkingMemory
+
+__all__ = [
+    "End",
+    "EventPattern",
+    "Guard",
+    "HappensAt",
+    "HoldsAt",
+    "Interval",
+    "NotHappensAt",
+    "NotHoldsAt",
+    "OPEN",
+    "RTEC",
+    "RecognitionResult",
+    "Rule",
+    "Start",
+    "StaticJoin",
+    "Var",
+    "WorkingMemory",
+    "bind",
+    "clip_intervals",
+    "happens_head",
+    "holds_at",
+    "initiated",
+    "intervals_from_points",
+    "terminated",
+    "unify",
+    "union_intervals",
+]

@@ -1,0 +1,658 @@
+"""The RTEC recognition engine.
+
+Recognition runs at query times ``Q1, Q2, ...``: at each ``Qi`` the engine
+considers input events that occurred in ``(Qi - omega, Qi]`` and have arrived
+by ``Qi`` (working memory), evaluates the derived fluents and events in
+dependency order, and computes the maximal intervals of every fluent via the
+``initiatedAt`` / ``terminatedAt`` / ``broken`` semantics of Section 4.1.
+
+Fluent intervals still open at a query time persist to the next step (the
+law of inertia does not forget with the window: a vessel stopped for six
+hours stays ``stopped`` even after its ``stop_start`` event leaves the
+window).  Everything else is recomputed within the window, which naturally
+incorporates delayed events, as in Figure 5.
+"""
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.rtec.intervals import (
+    Interval,
+    OPEN,
+    end_points,
+    holds_at,
+    intervals_from_points,
+    start_points,
+)
+from repro.rtec.rules import (
+    EventPattern,
+    Guard,
+    HappensAt,
+    HappensHead,
+    HoldsAt,
+    InitiatedHead,
+    NotHappensAt,
+    NotHoldsAt,
+    Rule,
+    Start,
+    StaticJoin,
+    TerminatedHead,
+)
+from repro.rtec.terms import Bindings, bind, is_ground, unify
+from repro.rtec.working_memory import WorkingMemory
+
+#: fluent store layout: functor -> args -> value -> interval list
+FluentStore = dict[str, dict[tuple, dict[object, list[Interval]]]]
+#: event store layout: functor -> list of (args, time)
+EventStore = dict[str, list[tuple[tuple, int]]]
+
+
+class ComputedFluent:
+    """A fluent whose intervals are computed by Python code.
+
+    Subclasses implement aggregate fluents that would need recursive
+    counting in pure rules — e.g. ``vesselsStoppedIn(Area)=N``.  They
+    declare their dependencies so stratification can order them.
+    """
+
+    functor: str = ""
+    depends_on_fluents: frozenset[str] = frozenset()
+    depends_on_events: frozenset[str] = frozenset()
+
+    def compute(
+        self, view: "EngineView"
+    ) -> dict[tuple, dict[object, list[Interval]]]:
+        """Return ``{args: {value: intervals}}`` for the current window."""
+        raise NotImplementedError
+
+
+@dataclass
+class EngineView:
+    """Read access to the evaluation state, for computed fluents."""
+
+    window_start: int
+    query_time: int
+    fluents: FluentStore
+    events: EventStore
+    memory: WorkingMemory
+
+    def fluent_instances(self, functor: str) -> dict[tuple, dict[object, list[Interval]]]:
+        """All ground instances of a derived fluent with their intervals."""
+        return self.fluents.get(functor, {})
+
+    def value_at(self, functor: str, args: tuple, timepoint: int) -> object | None:
+        """Value of an input valued fluent at a timepoint."""
+        return self.memory.value_at(functor, args, timepoint, self.query_time)
+
+    def occurrences(self, functor: str) -> list[tuple[tuple, int]]:
+        """Event occurrences (args, time) visible in the window."""
+        return self.events.get(functor, [])
+
+
+@dataclass
+class RecognitionResult:
+    """Output of one recognition step."""
+
+    query_time: int
+    window_start: int
+    fluents: FluentStore = field(default_factory=dict)
+    events: EventStore = field(default_factory=dict)
+
+    def intervals(
+        self, functor: str, args: tuple | None = None, value: object = True
+    ) -> list[Interval]:
+        """Intervals of one fluent instance (empty when absent)."""
+        instances = self.fluents.get(functor, {})
+        if args is None:
+            merged: list[Interval] = []
+            for values in instances.values():
+                merged.extend(values.get(value, []))
+            return sorted(merged)
+        return instances.get(tuple(args), {}).get(value, [])
+
+    def holds_at(
+        self, functor: str, args: tuple, timepoint: int, value: object = True
+    ) -> bool:
+        """Whether a fluent instance holds a value at a timepoint."""
+        return holds_at(self.intervals(functor, tuple(args), value), timepoint)
+
+    def occurrences(self, functor: str) -> list[tuple[tuple, int]]:
+        """Occurrences of a derived event, as (args, time) pairs."""
+        return self.events.get(functor, [])
+
+    def complex_event_count(self) -> int:
+        """Total recognized CE instances: intervals plus occurrences."""
+        count = sum(
+            len(intervals)
+            for instances in self.fluents.values()
+            for values in instances.values()
+            for intervals in values.values()
+        )
+        count += sum(len(occurrences) for occurrences in self.events.values())
+        return count
+
+
+class RTEC:
+    """The Event Calculus run-time engine.
+
+    Parameters
+    ----------
+    window_seconds:
+        The range ``omega`` of the working-memory window.
+
+    Usage::
+
+        engine = RTEC(window_seconds=3600)
+        engine.declare_rules(rules)
+        engine.working_memory.assert_event("gap", ("vessel1",), 45)
+        result = engine.step(query_time=3600)
+    """
+
+    def __init__(self, window_seconds: int):
+        if window_seconds <= 0:
+            raise ValueError(f"window range must be positive: {window_seconds}")
+        self.window_seconds = window_seconds
+        self.working_memory = WorkingMemory()
+        self._initiation_rules: dict[str, list[Rule]] = defaultdict(list)
+        self._termination_rules: dict[str, list[Rule]] = defaultdict(list)
+        self._event_rules: dict[str, list[Rule]] = defaultdict(list)
+        self._computed: dict[str, ComputedFluent] = {}
+        self._outputs_fluents: set[str] = set()
+        self._outputs_events: set[str] = set()
+        # Open intervals persisted across steps: (functor, args) -> (value, ts)
+        self._persisted_open: dict[tuple[str, tuple], tuple[object, int]] = {}
+        self._order: list[str] | None = None
+        self.last_result: RecognitionResult | None = None
+
+    # ------------------------------------------------------------------
+    # declaration
+    # ------------------------------------------------------------------
+
+    def declare_rules(self, rules: list[Rule]) -> None:
+        """Register rules; invalidates the cached evaluation order."""
+        for rule in rules:
+            head = rule.head
+            if isinstance(head, InitiatedHead):
+                self._initiation_rules[head.fluent].append(rule)
+            elif isinstance(head, TerminatedHead):
+                self._termination_rules[head.fluent].append(rule)
+            elif isinstance(head, HappensHead):
+                self._event_rules[head.event].append(rule)
+            else:
+                raise TypeError(f"unknown head type: {head!r}")
+        self._order = None
+
+    def declare_computed(self, computed: ComputedFluent) -> None:
+        """Register a Python-computed fluent."""
+        if not computed.functor:
+            raise ValueError("computed fluent must set a functor name")
+        self._computed[computed.functor] = computed
+        self._order = None
+
+    def declare_outputs(
+        self, fluents: list[str] | None = None, events: list[str] | None = None
+    ) -> None:
+        """Name the CE fluents/events reported in recognition results.
+
+        Without a declaration, every derived fluent and event is reported.
+        """
+        self._outputs_fluents.update(fluents or [])
+        self._outputs_events.update(events or [])
+
+    # ------------------------------------------------------------------
+    # recognition
+    # ------------------------------------------------------------------
+
+    def step(self, query_time: int) -> RecognitionResult:
+        """Run recognition at a query time; returns the recognized CEs."""
+        window_start = query_time - self.window_seconds
+        self.working_memory.forget_before(window_start)
+
+        fluent_store: FluentStore = {}
+        event_store: EventStore = {}
+        for functor in self.working_memory.event_functors():
+            occurrences = self.working_memory.events_in_window(
+                functor, window_start, query_time
+            )
+            if occurrences:
+                event_store[functor] = [(o.args, o.time) for o in occurrences]
+
+        view = EngineView(
+            window_start, query_time, fluent_store, event_store, self.working_memory
+        )
+        context = _EvalContext(self, view)
+
+        for functor in self._evaluation_order():
+            if functor in self._computed:
+                fluent_store[functor] = self._computed[functor].compute(view)
+            elif functor in self._event_rules:
+                occurrences = self._derive_event(functor, context)
+                if occurrences:
+                    event_store.setdefault(functor, []).extend(occurrences)
+                    event_store[functor].sort(key=lambda item: item[1])
+            else:
+                fluent_store[functor] = self._derive_fluent(functor, context)
+
+        result = RecognitionResult(query_time, window_start)
+        report_fluents = self._outputs_fluents or (
+            set(self._initiation_rules) | set(self._computed)
+        )
+        report_events = self._outputs_events or set(self._event_rules)
+        result.fluents = {
+            functor: fluent_store[functor]
+            for functor in report_fluents
+            if functor in fluent_store
+        }
+        result.events = {
+            functor: event_store[functor]
+            for functor in report_events
+            if functor in event_store
+        }
+        self.last_result = result
+        return result
+
+    def run_retrospective(
+        self, slide_seconds: int, until: int, from_time: int = 0
+    ) -> list[RecognitionResult]:
+        """Replay recognition over already-asserted history (Section 4.2).
+
+        "CE recognition may be performed retrospectively — e.g., at the end
+        of each day in order to evaluate the activity of a particular fleet
+        of vessels."  Steps the engine at every multiple of the slide in
+        ``(from_time, until]`` and returns the per-query results.  Assert
+        the whole day's events into the working memory first.
+        """
+        if slide_seconds <= 0:
+            raise ValueError(f"slide must be positive: {slide_seconds}")
+        results = []
+        query_time = from_time + slide_seconds
+        while query_time <= until:
+            results.append(self.step(query_time))
+            query_time += slide_seconds
+        return results
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+
+    def _derive_fluent(
+        self, functor: str, context: "_EvalContext"
+    ) -> dict[tuple, dict[object, list[Interval]]]:
+        """Compute maximal intervals for every instance of one fluent."""
+        initiations: dict[tuple, dict[object, list[int]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        terminations: dict[tuple, dict[object, list[int]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        for rule in self._initiation_rules.get(functor, []):
+            for bindings in context.solve(rule.body):
+                args = bind(rule.head.args, bindings)
+                value = bind(rule.head.value, bindings)
+                timepoint = bindings[rule.body[0].time_variable]
+                initiations[args][value].append(timepoint)
+        for rule in self._termination_rules.get(functor, []):
+            for bindings in context.solve(rule.body):
+                args = bind(rule.head.args, bindings)
+                value = bind(rule.head.value, bindings)
+                timepoint = bindings[rule.body[0].time_variable]
+                terminations[args][value].append(timepoint)
+
+        # Persisted open intervals act as initiations from the past.
+        for (persisted_functor, args), (value, ts) in self._persisted_open.items():
+            if persisted_functor == functor:
+                initiations[args][value].append(ts)
+
+        instances: dict[tuple, dict[object, list[Interval]]] = {}
+        all_args = set(initiations) | set(terminations)
+        for args in all_args:
+            value_intervals: dict[object, list[Interval]] = {}
+            values = set(initiations[args]) | set(terminations[args])
+            for value in values:
+                inits = initiations[args].get(value, [])
+                if not inits:
+                    continue
+                # Rule (2): initiating any other value breaks this one.
+                breaks = list(terminations[args].get(value, []))
+                for other_value, other_inits in initiations[args].items():
+                    if other_value != value:
+                        breaks.extend(other_inits)
+                intervals = intervals_from_points(inits, breaks)
+                if intervals:
+                    value_intervals[value] = intervals
+            if value_intervals:
+                instances[args] = value_intervals
+
+        self._update_persistence(functor, instances)
+        return instances
+
+    def _derive_event(
+        self, functor: str, context: "_EvalContext"
+    ) -> list[tuple[tuple, int]]:
+        """Compute occurrences of a derived (complex) event."""
+        occurrences: set[tuple[tuple, int]] = set()
+        for rule in self._event_rules.get(functor, []):
+            for bindings in context.solve(rule.body):
+                args = bind(rule.head.args, bindings)
+                timepoint = bindings[rule.body[0].time_variable]
+                occurrences.add((args, timepoint))
+        return sorted(occurrences, key=lambda item: (item[1], item[0]))
+
+    def _update_persistence(
+        self, functor: str, instances: dict[tuple, dict[object, list[Interval]]]
+    ) -> None:
+        """Remember open intervals so inertia outlives the window."""
+        stale = [
+            key for key in self._persisted_open if key[0] == functor
+        ]
+        for key in stale:
+            del self._persisted_open[key]
+        for args, value_intervals in instances.items():
+            for value, intervals in value_intervals.items():
+                if intervals and intervals[-1][1] == OPEN:
+                    self._persisted_open[(functor, args)] = (
+                        value,
+                        intervals[-1][0],
+                    )
+
+    # ------------------------------------------------------------------
+    # stratification
+    # ------------------------------------------------------------------
+
+    def _evaluation_order(self) -> list[str]:
+        """Topological order of derived fluents/events by dependency."""
+        if self._order is not None:
+            return self._order
+        nodes: set[str] = (
+            set(self._initiation_rules)
+            | set(self._termination_rules)
+            | set(self._event_rules)
+            | set(self._computed)
+        )
+        dependencies: dict[str, set[str]] = {node: set() for node in nodes}
+        for functor in set(self._initiation_rules) | set(self._termination_rules):
+            rules = self._initiation_rules.get(functor, []) + self._termination_rules.get(
+                functor, []
+            )
+            for rule in rules:
+                dependencies[functor] |= (
+                    rule.referenced_fluents() | rule.referenced_events()
+                ) & nodes
+        for functor, rules in self._event_rules.items():
+            for rule in rules:
+                dependencies[functor] |= (
+                    rule.referenced_fluents() | rule.referenced_events()
+                ) & nodes
+        for functor, computed in self._computed.items():
+            dependencies[functor] |= (
+                set(computed.depends_on_fluents) | set(computed.depends_on_events)
+            ) & nodes
+
+        order: list[str] = []
+        visiting: set[str] = set()
+        visited: set[str] = set()
+
+        def visit(node: str) -> None:
+            if node in visited:
+                return
+            if node in visiting:
+                raise ValueError(
+                    f"cyclic fluent dependency through {node!r}; "
+                    "RTEC event descriptions must be hierarchical"
+                )
+            visiting.add(node)
+            for dependency in sorted(dependencies[node]):
+                visit(dependency)
+            visiting.discard(node)
+            visited.add(node)
+            order.append(node)
+
+        for node in sorted(nodes):
+            visit(node)
+        self._order = order
+        return order
+
+
+class _EvalContext:
+    """Left-to-right body evaluation over variable bindings."""
+
+    def __init__(self, engine: RTEC, view: EngineView):
+        self._engine = engine
+        self._view = view
+
+    def solve(self, body: tuple) -> list[Bindings]:
+        """All binding solutions of a rule body."""
+        solutions: list[Bindings] = [{}]
+        for literal in body:
+            if not solutions:
+                return []
+            if isinstance(literal, HappensAt):
+                solutions = self._solve_happens(literal, solutions)
+            elif isinstance(literal, HoldsAt):
+                solutions = self._solve_holds(literal, solutions)
+            elif isinstance(literal, NotHappensAt):
+                solutions = self._solve_negated_happens(literal, solutions)
+            elif isinstance(literal, NotHoldsAt):
+                solutions = self._solve_negated_holds(literal, solutions)
+            elif isinstance(literal, StaticJoin):
+                solutions = self._solve_static(literal, solutions)
+            elif isinstance(literal, Guard):
+                solutions = [
+                    bindings
+                    for bindings in solutions
+                    if literal.test(
+                        *(bindings[name] for name in literal.variables)
+                    )
+                ]
+            else:
+                raise TypeError(f"unknown body literal: {literal!r}")
+        return solutions
+
+    # -- happensAt ------------------------------------------------------
+
+    def _solve_happens(
+        self, literal: HappensAt, solutions: list[Bindings]
+    ) -> list[Bindings]:
+        occurrences = self._occurrences(literal.pattern)
+        extended: list[Bindings] = []
+        for bindings in solutions:
+            bound_time = bindings.get(literal.time_variable)
+            for args, timepoint in occurrences:
+                if bound_time is not None and timepoint != bound_time:
+                    continue
+                unified = unify(self._pattern_args(literal.pattern), args, bindings)
+                if unified is None:
+                    continue
+                if bound_time is None:
+                    unified = dict(unified)
+                    unified[literal.time_variable] = timepoint
+                extended.append(unified)
+        return extended
+
+    def _pattern_args(self, pattern) -> tuple:
+        return pattern.args
+
+    def _occurrences(self, pattern) -> list[tuple[tuple, int]]:
+        view = self._view
+        if isinstance(pattern, EventPattern):
+            return view.events.get(pattern.functor, [])
+        # start/end of fluent intervals, clipped to the window.
+        instances = view.fluents.get(pattern.fluent, {})
+        occurrences: list[tuple[tuple, int]] = []
+        for args, value_intervals in instances.items():
+            for value, intervals in value_intervals.items():
+                matched = unify(pattern.value, value, {})
+                if matched is None:
+                    continue
+                if isinstance(pattern, Start):
+                    points = start_points(intervals)
+                else:
+                    points = end_points(intervals)
+                for point in points:
+                    if view.window_start < point <= view.query_time:
+                        occurrences.append((args, point))
+        occurrences.sort(key=lambda item: item[1])
+        return occurrences
+
+    def _solve_negated_happens(
+        self, literal: NotHappensAt, solutions: list[Bindings]
+    ) -> list[Bindings]:
+        """Keep bindings with no matching occurrence at the bound time."""
+        occurrences = self._occurrences(literal.pattern)
+        surviving: list[Bindings] = []
+        for bindings in solutions:
+            bound_time = bindings.get(literal.time_variable)
+            if bound_time is None:
+                raise ValueError(
+                    "NotHappensAt reached with unbound time variable "
+                    f"{literal.time_variable!r}; negation must follow the "
+                    "trigger that binds it"
+                )
+            matched = any(
+                timepoint == bound_time
+                and unify(literal.pattern.args, args, bindings) is not None
+                for args, timepoint in occurrences
+            )
+            if not matched:
+                surviving.append(bindings)
+        return surviving
+
+    def _solve_negated_holds(
+        self, literal: NotHoldsAt, solutions: list[Bindings]
+    ) -> list[Bindings]:
+        """Keep bindings whose fluent instance does not hold the value."""
+        positive = HoldsAt(
+            literal.fluent, literal.args, literal.value, literal.time_variable
+        )
+        surviving: list[Bindings] = []
+        for bindings in solutions:
+            if not self._solve_holds(positive, [bindings]):
+                surviving.append(bindings)
+        return surviving
+
+    # -- holdsAt --------------------------------------------------------
+
+    def _solve_holds(
+        self, literal: HoldsAt, solutions: list[Bindings]
+    ) -> list[Bindings]:
+        view = self._view
+        extended: list[Bindings] = []
+        derived = view.fluents.get(literal.fluent)
+        for bindings in solutions:
+            timepoint = bindings.get(literal.time_variable)
+            if timepoint is None:
+                raise ValueError(
+                    f"holdsAt({literal.fluent}) reached with unbound time "
+                    f"variable {literal.time_variable!r}; order the body so a "
+                    "happensAt trigger binds it first"
+                )
+            if derived is not None:
+                extended.extend(
+                    self._match_derived(literal, derived, bindings, timepoint)
+                )
+            else:
+                extended.extend(self._match_valued(literal, bindings, timepoint))
+        return extended
+
+    def _match_derived(
+        self,
+        literal: HoldsAt,
+        instances: dict[tuple, dict[object, list[Interval]]],
+        bindings: Bindings,
+        timepoint: int,
+    ) -> list[Bindings]:
+        matches: list[Bindings] = []
+        for args, value_intervals in instances.items():
+            unified_args = unify(literal.args, args, bindings)
+            if unified_args is None:
+                continue
+            for value, intervals in value_intervals.items():
+                unified = unify(literal.value, value, unified_args)
+                if unified is None:
+                    continue
+                if holds_at(intervals, timepoint):
+                    matches.append(unified)
+        return matches
+
+    def _match_valued(
+        self, literal: HoldsAt, bindings: Bindings, timepoint: int
+    ) -> list[Bindings]:
+        view = self._view
+        matches: list[Bindings] = []
+        if is_ground(bind_safe(literal.args, bindings)):
+            candidate_args = [bind(literal.args, bindings)]
+        else:
+            candidate_args = [
+                args
+                for args in view.memory.valued_instances(literal.fluent)
+                if unify(literal.args, args, bindings) is not None
+            ]
+        for args in candidate_args:
+            value = view.memory.value_at(
+                literal.fluent, args, timepoint, view.query_time
+            )
+            if value is None:
+                continue
+            unified = unify(literal.args, args, bindings)
+            if unified is None:
+                continue
+            unified = unify(literal.value, value, unified)
+            if unified is not None:
+                matches.append(unified)
+        return matches
+
+    # -- statics ---------------------------------------------------------
+
+    def _solve_static(
+        self, literal: StaticJoin, solutions: list[Bindings]
+    ) -> list[Bindings]:
+        extended: list[Bindings] = []
+        for bindings in solutions:
+            try:
+                inputs = [bindings[name] for name in literal.inputs]
+            except KeyError as exc:
+                raise ValueError(
+                    f"static predicate {literal.name!r} reached with unbound "
+                    f"input variable {exc.args[0]!r}"
+                ) from exc
+            result = literal.predicate(*inputs)
+            if not literal.outputs:
+                if isinstance(result, bool):
+                    truthy = result
+                elif hasattr(result, "__iter__"):
+                    truthy = any(True for _ in result)
+                else:
+                    truthy = bool(result)
+                if truthy:
+                    extended.append(bindings)
+                continue
+            for row in result:
+                row_tuple = row if isinstance(row, tuple) else (row,)
+                if len(row_tuple) != len(literal.outputs):
+                    raise ValueError(
+                        f"static predicate {literal.name!r} yielded a row of "
+                        f"width {len(row_tuple)}, expected {len(literal.outputs)}"
+                    )
+                current = dict(bindings)
+                consistent = True
+                for name, value in zip(literal.outputs, row_tuple):
+                    if name in current:
+                        if current[name] != value:
+                            consistent = False
+                            break
+                    else:
+                        current[name] = value
+                if consistent:
+                    extended.append(current)
+        return extended
+
+
+def bind_safe(pattern, bindings: Bindings):
+    """Like :func:`bind` but leaves unbound variables in place."""
+    from repro.rtec.terms import Var
+
+    if isinstance(pattern, Var):
+        return bindings.get(pattern.name, pattern)
+    if isinstance(pattern, tuple):
+        return tuple(bind_safe(item, bindings) for item in pattern)
+    return pattern

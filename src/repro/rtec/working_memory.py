@@ -1,0 +1,171 @@
+"""The working memory: windowed storage of input events and context.
+
+"At each Qi the MEs that fall within a specified sliding window omega
+('working memory' in the terminology of RTEC) are taken into consideration.
+All MEs that took place before or at Qi - omega are discarded." — Section 4.2.
+
+Three input families are stored:
+
+* **events** — instantaneous occurrences (``gap``, ``turn``, ``stop_start``…)
+  with both an occurrence time and an arrival time, so delayed events are
+  visible only at query times after they arrive (Figure 5);
+* **valued fluents** — step functions such as ``coord(Vessel)``, where each
+  assertion sets the value from its timestamp until the next assertion; the
+  last assignment before the window is retained so values persist into it;
+* **facts** — timestamped context facts used by the spatial-facts experiment
+  of Figure 11(b), stored like events.
+"""
+
+from bisect import bisect_right
+from collections import defaultdict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EventOccurrence:
+    """One ground event occurrence in the working memory."""
+
+    functor: str
+    args: tuple
+    time: int
+    arrival: int
+
+
+class WorkingMemory:
+    """Windowed input store for the RTEC engine."""
+
+    def __init__(self) -> None:
+        self._events: dict[str, list[EventOccurrence]] = defaultdict(list)
+        # (functor, args) -> sorted list of (time, arrival, value)
+        self._valued: dict[tuple[str, tuple], list[tuple[int, int, object]]] = (
+            defaultdict(list)
+        )
+        self._events_sorted = True
+
+    # ------------------------------------------------------------------
+    # assertion
+    # ------------------------------------------------------------------
+
+    def assert_event(
+        self, functor: str, args: tuple, time: int, arrival: int | None = None
+    ) -> None:
+        """Record an event occurrence (arrival defaults to occurrence time)."""
+        occurrence = EventOccurrence(
+            functor, tuple(args), time, time if arrival is None else arrival
+        )
+        self._events[functor].append(occurrence)
+        self._events_sorted = False
+
+    def assert_value(
+        self,
+        functor: str,
+        args: tuple,
+        value: object,
+        time: int,
+        arrival: int | None = None,
+    ) -> None:
+        """Record a valued-fluent assignment taking effect at ``time``."""
+        entries = self._valued[(functor, tuple(args))]
+        entries.append((time, time if arrival is None else arrival, value))
+        # Keep sorted by occurrence time; assertions are near-ordered, so an
+        # insertion-sort step is cheap.
+        index = len(entries) - 1
+        while index > 0 and entries[index - 1][0] > entries[index][0]:
+            entries[index - 1], entries[index] = entries[index], entries[index - 1]
+            index -= 1
+
+    # ------------------------------------------------------------------
+    # queries (window-relative)
+    # ------------------------------------------------------------------
+
+    def events_in_window(
+        self, functor: str, window_start: int, query_time: int
+    ) -> list[EventOccurrence]:
+        """Occurrences of one event type visible at the query time.
+
+        Visible means: occurred in ``(Qi - omega, Qi]`` *and* arrived by
+        ``Qi``.  Delayed events that occurred in a previous slide but only
+        just arrived are therefore included — Figure 5's recovery.
+        """
+        self._ensure_sorted()
+        return [
+            occurrence
+            for occurrence in self._events.get(functor, ())
+            if window_start < occurrence.time <= query_time
+            and occurrence.arrival <= query_time
+        ]
+
+    def event_functors(self) -> list[str]:
+        """All event types ever asserted."""
+        return list(self._events)
+
+    def value_at(
+        self, functor: str, args: tuple, timepoint: int, query_time: int
+    ) -> object | None:
+        """Value of a valued fluent at a timepoint (``None`` if unset).
+
+        Only assertions that have arrived by the query time are considered.
+        """
+        entries = self._valued.get((functor, tuple(args)))
+        if not entries:
+            return None
+        best: object | None = None
+        best_time = None
+        # Entries are sorted by occurrence time; scan backwards from the
+        # insertion point for the latest arrived assignment <= timepoint.
+        times = [entry[0] for entry in entries]
+        index = bisect_right(times, timepoint) - 1
+        while index >= 0:
+            time, arrival, value = entries[index]
+            if arrival <= query_time:
+                best, best_time = value, time
+                break
+            index -= 1
+        del best_time
+        return best
+
+    def valued_instances(self, functor: str) -> list[tuple]:
+        """Known argument tuples of a valued fluent."""
+        return [args for (name, args) in self._valued if name == functor]
+
+    # ------------------------------------------------------------------
+    # forgetting
+    # ------------------------------------------------------------------
+
+    def forget_before(self, horizon: int) -> int:
+        """Drop events at or before the horizon; returns how many were kept.
+
+        Valued fluents keep their latest pre-horizon assignment per instance
+        (the value persists into the window); earlier ones are dropped.
+        """
+        self._ensure_sorted()
+        kept = 0
+        for functor in list(self._events):
+            remaining = [
+                occurrence
+                for occurrence in self._events[functor]
+                if occurrence.time > horizon
+            ]
+            if remaining:
+                self._events[functor] = remaining
+                kept += len(remaining)
+            else:
+                del self._events[functor]
+        for key in list(self._valued):
+            entries = self._valued[key]
+            times = [entry[0] for entry in entries]
+            cut = bisect_right(times, horizon) - 1
+            if cut > 0:
+                self._valued[key] = entries[cut:]
+        return kept
+
+    def event_count(self) -> int:
+        """Total stored event occurrences."""
+        return sum(len(entries) for entries in self._events.values())
+
+    def _ensure_sorted(self) -> None:
+        if self._events_sorted:
+            return
+        for occurrences in self._events.values():
+            occurrences.sort(key=lambda occurrence: occurrence.time)
+        self._events_sorted = True

@@ -1,0 +1,37 @@
+"""Synthetic AIS world and fleet: the dataset substitution.
+
+The paper evaluates against a proprietary 23 GB AIS dataset (6,425 vessels in
+the Aegean over three months).  That dataset is not redistributable, so this
+package generates the closest synthetic equivalent: an Aegean-like world of
+ports and regulated areas, a fleet of vessels with realistic behaviour
+programs (ferries, cargo ships, tankers, fishing boats, loiterers), variable
+report rates matched to vessel activity (~2 min mean, as in the paper), GPS
+noise, positional outliers, and deliberate transponder-silence windows.
+
+The generated stream exercises exactly the code paths the real data would:
+straight predictable sailing punctuated by turns, stops, gaps and slow
+motion — the features the mobility tracker compresses and RTEC reasons over.
+"""
+
+from repro.simulator.fleet import FleetSimulator, SimulatedVessel, replicate_positions
+from repro.simulator.motion import Leg, MotionPlan, PlanBuilder
+from repro.simulator.noise import NoiseModel
+from repro.simulator.vessel import VesselSpec, VesselType
+from repro.simulator.world import Area, AreaKind, Port, WorldModel, build_aegean_world
+
+__all__ = [
+    "Area",
+    "AreaKind",
+    "FleetSimulator",
+    "Leg",
+    "MotionPlan",
+    "NoiseModel",
+    "PlanBuilder",
+    "Port",
+    "SimulatedVessel",
+    "VesselSpec",
+    "VesselType",
+    "WorldModel",
+    "build_aegean_world",
+    "replicate_positions",
+]

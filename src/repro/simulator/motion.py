@@ -1,0 +1,183 @@
+"""Continuous-time motion plans for simulated vessels.
+
+A vessel's ground truth is a :class:`MotionPlan`: a sequence of legs, each
+either a constant-velocity move between two points or a hold at a fixed
+location.  Positions at arbitrary timestamps are obtained by linear
+interpolation inside the active leg — the same motion model the tracker
+assumes (Section 3, footnote 2), so approximation-error measurements compare
+like with like.
+"""
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.geo.haversine import (
+    destination_point,
+    haversine_meters,
+    initial_bearing_degrees,
+)
+from repro.geo.units import knots_to_mps
+
+
+@dataclass(frozen=True)
+class Leg:
+    """One piece of a motion plan: a move or a hold over a time interval."""
+
+    start_time: int
+    end_time: int
+    start_lon: float
+    start_lat: float
+    end_lon: float
+    end_lat: float
+
+    @property
+    def duration(self) -> int:
+        """Leg duration in seconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def is_hold(self) -> bool:
+        """Whether the leg keeps the vessel at one location."""
+        return self.start_lon == self.end_lon and self.start_lat == self.end_lat
+
+    def position_at(self, timestamp: int) -> tuple[float, float]:
+        """Interpolated position inside (or clamped to) the leg."""
+        if timestamp <= self.start_time or self.duration == 0:
+            return self.start_lon, self.start_lat
+        if timestamp >= self.end_time:
+            return self.end_lon, self.end_lat
+        fraction = (timestamp - self.start_time) / self.duration
+        return (
+            self.start_lon + fraction * (self.end_lon - self.start_lon),
+            self.start_lat + fraction * (self.end_lat - self.start_lat),
+        )
+
+
+class MotionPlan:
+    """An ordered, gap-free sequence of legs."""
+
+    def __init__(self, legs: list[Leg]):
+        if not legs:
+            raise ValueError("a motion plan needs at least one leg")
+        for before, after in zip(legs, legs[1:]):
+            if after.start_time != before.end_time:
+                raise ValueError(
+                    "legs must be contiguous: "
+                    f"{before.end_time} followed by {after.start_time}"
+                )
+        self.legs = legs
+        self._starts = [leg.start_time for leg in legs]
+
+    @property
+    def start_time(self) -> int:
+        """First instant covered by the plan."""
+        return self.legs[0].start_time
+
+    @property
+    def end_time(self) -> int:
+        """Last instant covered by the plan."""
+        return self.legs[-1].end_time
+
+    def position_at(self, timestamp: int) -> tuple[float, float]:
+        """Ground-truth position at a timestamp (clamped to the plan span)."""
+        index = bisect_right(self._starts, timestamp) - 1
+        index = max(0, index)
+        return self.legs[index].position_at(timestamp)
+
+    def leg_at(self, timestamp: int) -> Leg:
+        """The leg active at a timestamp."""
+        index = max(0, bisect_right(self._starts, timestamp) - 1)
+        return self.legs[index]
+
+    def speed_at(self, timestamp: int) -> float:
+        """Ground-truth speed (m/s) at a timestamp."""
+        leg = self.leg_at(timestamp)
+        if leg.duration == 0 or leg.is_hold:
+            return 0.0
+        distance = haversine_meters(
+            leg.start_lon, leg.start_lat, leg.end_lon, leg.end_lat
+        )
+        return distance / leg.duration
+
+
+class PlanBuilder:
+    """Incremental construction of a motion plan from a moving cursor."""
+
+    def __init__(self, start_time: int, lon: float, lat: float):
+        self.time = start_time
+        self.lon = lon
+        self.lat = lat
+        self._legs: list[Leg] = []
+
+    def hold(self, duration_seconds: int) -> "PlanBuilder":
+        """Stay in place for a duration (docking, anchorage, loiter stop)."""
+        if duration_seconds <= 0:
+            raise ValueError("hold duration must be positive")
+        self._legs.append(
+            Leg(
+                self.time,
+                self.time + duration_seconds,
+                self.lon,
+                self.lat,
+                self.lon,
+                self.lat,
+            )
+        )
+        self.time += duration_seconds
+        return self
+
+    def sail_to(self, lon: float, lat: float, speed_knots: float) -> "PlanBuilder":
+        """Straight constant-speed leg to a destination point."""
+        if speed_knots <= 0:
+            raise ValueError("sailing speed must be positive")
+        distance = haversine_meters(self.lon, self.lat, lon, lat)
+        duration = max(1, round(distance / knots_to_mps(speed_knots)))
+        self._legs.append(Leg(self.time, self.time + duration, self.lon, self.lat, lon, lat))
+        self.time += duration
+        self.lon = lon
+        self.lat = lat
+        return self
+
+    def sail_heading(
+        self, heading_degrees: float, distance_meters: float, speed_knots: float
+    ) -> "PlanBuilder":
+        """Straight leg along a heading for a given distance."""
+        lon, lat = destination_point(self.lon, self.lat, heading_degrees, distance_meters)
+        return self.sail_to(lon, lat, speed_knots)
+
+    def loiter(
+        self,
+        duration_seconds: int,
+        speed_knots: float,
+        wander_radius_meters: float,
+        rng: random.Random,
+    ) -> "PlanBuilder":
+        """Meander around the current point at low speed (fishing pattern).
+
+        Produces short legs with random heading changes, bounded to stay
+        within the wander radius of the entry point.
+        """
+        center_lon, center_lat = self.lon, self.lat
+        deadline = self.time + duration_seconds
+        heading = rng.uniform(0.0, 360.0)
+        while self.time < deadline:
+            leg_seconds = min(rng.randint(120, 360), deadline - self.time)
+            if leg_seconds <= 0:
+                break
+            distance = knots_to_mps(speed_knots) * leg_seconds
+            # Steer back toward the center when drifting out of the ground.
+            offset = haversine_meters(center_lon, center_lat, self.lon, self.lat)
+            if offset > wander_radius_meters:
+                heading = initial_bearing_degrees(
+                    self.lon, self.lat, center_lon, center_lat
+                )
+            else:
+                heading = (heading + rng.uniform(-40.0, 40.0)) % 360.0
+            self.sail_heading(heading, distance, speed_knots)
+            # sail_heading recomputed duration from distance; keep time exact.
+        return self
+
+    def build(self) -> MotionPlan:
+        """Finish and return the plan."""
+        return MotionPlan(list(self._legs))

@@ -1,0 +1,366 @@
+"""Vessel specifications and behaviour programs.
+
+Each simulated vessel has a static :class:`VesselSpec` (the kind of data the
+paper correlates as "static vessel information": type, draft, fishing
+designation) and a behaviour program that compiles to a
+:class:`~repro.simulator.motion.MotionPlan`.
+
+Behaviour mix mirrors the traffic the paper describes: "a considerable part
+(chiefly cargo ships) were just passing by... most vessels were frequently
+sailing, e.g., passenger ships or ferries to the islands" (Section 5) — plus
+the deviant behaviours the CE definitions target.
+"""
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.geo.haversine import (
+    destination_point,
+    haversine_meters,
+    initial_bearing_degrees,
+)
+from repro.simulator.motion import MotionPlan, PlanBuilder
+from repro.simulator.world import Area, AreaKind, Port, WorldModel
+
+
+class VesselType(enum.Enum):
+    """Fleet composition categories."""
+
+    FERRY = "ferry"
+    CARGO = "cargo"
+    TANKER = "tanker"
+    FISHING = "fishing"
+
+
+@dataclass(frozen=True)
+class VesselSpec:
+    """Static vessel record: the per-vessel facts RTEC reasons over."""
+
+    mmsi: int
+    vessel_type: VesselType
+    draft_meters: float
+    is_fishing: bool
+
+    @property
+    def name(self) -> str:
+        """Human-readable label."""
+        return f"{self.vessel_type.value}_{self.mmsi}"
+
+
+@dataclass(frozen=True)
+class Behaviour:
+    """A compiled vessel behaviour: plan plus transponder silence windows."""
+
+    spec: VesselSpec
+    plan: MotionPlan
+    silence_windows: tuple[tuple[int, int], ...] = ()
+
+
+def make_ferry(
+    mmsi: int,
+    world: WorldModel,
+    rng: random.Random,
+    start_time: int,
+    duration: int,
+) -> Behaviour:
+    """A ferry shuttling between two ports with dogleg waypoints.
+
+    Produces the bulk of turn / speed-change / docking-stop events.
+    """
+    spec = VesselSpec(mmsi, VesselType.FERRY, rng.uniform(4.0, 6.5), False)
+    origin, destination = rng.sample(world.ports, 2)
+    builder = PlanBuilder(start_time, origin.lon, origin.lat)
+    here, there = origin, destination
+    while builder.time < start_time + duration:
+        builder.hold(rng.randint(1200, 2700))
+        _sail_between_ports(builder, here, there, rng, speed=rng.uniform(14.0, 18.0))
+        here, there = there, here
+    return Behaviour(spec, builder.build())
+
+
+def make_cargo(
+    mmsi: int,
+    world: WorldModel,
+    rng: random.Random,
+    start_time: int,
+    duration: int,
+) -> Behaviour:
+    """A cargo ship crossing the region on an almost straight path."""
+    spec = VesselSpec(mmsi, VesselType.CARGO, rng.uniform(7.0, 12.0), False)
+    entry, exit_point = _crossing_endpoints(world, rng)
+    builder = PlanBuilder(start_time, *entry)
+    speed = rng.uniform(10.0, 14.0)
+    # A couple of mild doglegs, as real shipping lanes are not perfect lines.
+    waypoints = _doglegs(entry, exit_point, rng, count=rng.randint(1, 2))
+    for lon, lat in waypoints:
+        builder.sail_to(lon, lat, speed)
+    builder.sail_to(exit_point[0], exit_point[1], speed)
+    if builder.time < start_time + duration:
+        builder.hold(start_time + duration - builder.time)
+    return Behaviour(spec, builder.build())
+
+
+def make_deviant_tanker(
+    mmsi: int,
+    world: WorldModel,
+    rng: random.Random,
+    start_time: int,
+    duration: int,
+    protected: Area | None = None,
+) -> Behaviour:
+    """A tanker cutting through a protected area with its transponder off.
+
+    This is Scenario 3 of the paper: vessels "switch off their transmitters
+    and stop sending position signals" while inside protected areas, so that
+    the gap ME fires close to the area and ``illegalShipping`` is recognized.
+    """
+    spec = VesselSpec(mmsi, VesselType.TANKER, rng.uniform(9.0, 14.0), False)
+    if protected is None:
+        candidates = world.areas_of_kind(AreaKind.PROTECTED)
+        if not candidates:
+            raise ValueError("world has no protected areas for a deviant tanker")
+        protected = rng.choice(candidates)
+    center_lon, center_lat = protected.polygon.centroid
+    approach_heading = rng.uniform(0.0, 360.0)
+    entry_lon, entry_lat = destination_point(
+        center_lon, center_lat, approach_heading, 25_000.0
+    )
+    exit_lon, exit_lat = destination_point(
+        center_lon, center_lat, (approach_heading + 180.0) % 360.0, 25_000.0
+    )
+    speed = rng.uniform(11.0, 14.0)
+    builder = PlanBuilder(start_time, entry_lon, entry_lat)
+    builder.sail_to(center_lon, center_lat, speed)
+    silence_start = builder.time - rng.randint(300, 600)
+    builder.sail_to(exit_lon, exit_lat, speed)
+    silence_end = silence_start + rng.randint(1500, 2400)
+    if builder.time < start_time + duration:
+        builder.hold(start_time + duration - builder.time)
+    return Behaviour(
+        spec, builder.build(), silence_windows=((silence_start, silence_end),)
+    )
+
+
+def make_fishing(
+    mmsi: int,
+    world: WorldModel,
+    rng: random.Random,
+    start_time: int,
+    duration: int,
+    illegal: bool = False,
+    ground: Area | None = None,
+) -> Behaviour:
+    """A fishing vessel: out of port, loiter at trawling speed, return.
+
+    With ``illegal=True`` the fishing ground is (near) a forbidden-fishing
+    area, producing the slow-motion MEs that trigger ``illegalFishing``.
+    """
+    spec = VesselSpec(mmsi, VesselType.FISHING, rng.uniform(2.5, 4.5), True)
+    if ground is None:
+        if illegal:
+            candidates = world.areas_of_kind(AreaKind.FORBIDDEN_FISHING)
+            if not candidates:
+                raise ValueError("world has no forbidden fishing areas")
+            ground = rng.choice(candidates)
+    if ground is not None:
+        ground_lon, ground_lat = ground.polygon.centroid
+    else:
+        ground_lon, ground_lat = _random_open_sea_point(world, rng)
+    # Depart from the port nearest the ground, as a real boat would; a
+    # random port could put the ground several hours of sailing away.
+    port = min(
+        world.ports,
+        key=lambda p: haversine_meters(p.lon, p.lat, ground_lon, ground_lat),
+    )
+    builder = PlanBuilder(start_time, port.lon, port.lat)
+    while builder.time < start_time + duration:
+        builder.hold(rng.randint(600, 1800))
+        builder.sail_to(ground_lon, ground_lat, rng.uniform(8.0, 11.0))
+        builder.loiter(
+            duration_seconds=rng.randint(7200, 14400),
+            speed_knots=rng.uniform(2.5, 4.0),
+            wander_radius_meters=2500.0,
+            rng=rng,
+        )
+        builder.sail_to(port.lon, port.lat, rng.uniform(8.0, 11.0))
+    return Behaviour(spec, builder.build())
+
+
+def make_loiterer(
+    mmsi: int,
+    world: WorldModel,
+    rng: random.Random,
+    start_time: int,
+    duration: int,
+    rendezvous: tuple[float, float],
+    arrive_by: int,
+    stay_seconds: int,
+) -> Behaviour:
+    """A vessel that stops at a rendezvous point with others (Scenario 1).
+
+    Several of these stopped close to the same area make it ``suspicious``.
+    """
+    spec = VesselSpec(mmsi, VesselType.CARGO, rng.uniform(5.0, 9.0), False)
+    heading = rng.uniform(0.0, 360.0)
+    start_lon, start_lat = destination_point(
+        rendezvous[0], rendezvous[1], heading, rng.uniform(15_000.0, 30_000.0)
+    )
+    builder = PlanBuilder(start_time, start_lon, start_lat)
+    speed = rng.uniform(10.0, 14.0)
+    travel_start = max(
+        start_time, arrive_by - _travel_seconds(start_lon, start_lat, rendezvous, speed)
+    )
+    if travel_start > start_time:
+        builder.hold(travel_start - start_time)
+    # Stop a small random offset from the rendezvous, not exactly on it.
+    offset_lon, offset_lat = destination_point(
+        rendezvous[0], rendezvous[1], rng.uniform(0, 360), rng.uniform(50.0, 400.0)
+    )
+    builder.sail_to(offset_lon, offset_lat, speed)
+    builder.hold(stay_seconds)
+    away_lon, away_lat = destination_point(
+        offset_lon, offset_lat, rng.uniform(0.0, 360.0), 20_000.0
+    )
+    builder.sail_to(away_lon, away_lat, speed)
+    if builder.time < start_time + duration:
+        builder.hold(start_time + duration - builder.time)
+    return Behaviour(spec, builder.build())
+
+
+def make_shallow_runner(
+    mmsi: int,
+    world: WorldModel,
+    rng: random.Random,
+    start_time: int,
+    duration: int,
+    shallow: Area | None = None,
+) -> Behaviour:
+    """A deep-draft vessel creeping through shallow waters (Scenario 4).
+
+    Sails slowly (below the slow-motion threshold) across a shallow area so
+    the ``slowMotion`` ME fires there and ``dangerousShipping`` is
+    recognized for a vessel whose draft exceeds the area depth.
+    """
+    if shallow is None:
+        candidates = world.areas_of_kind(AreaKind.SHALLOW)
+        if not candidates:
+            raise ValueError("world has no shallow areas")
+        shallow = rng.choice(candidates)
+    # Draft deliberately deeper than the area: 'too shallow' for this vessel.
+    spec = VesselSpec(
+        mmsi, VesselType.TANKER, shallow.depth_meters + rng.uniform(1.0, 4.0), False
+    )
+    center_lon, center_lat = shallow.polygon.centroid
+    heading = rng.uniform(0.0, 360.0)
+    entry = destination_point(center_lon, center_lat, heading, 15_000.0)
+    exit_point = destination_point(
+        center_lon, center_lat, (heading + 180.0) % 360.0, 15_000.0
+    )
+    builder = PlanBuilder(start_time, entry[0], entry[1])
+    builder.sail_to(center_lon, center_lat, rng.uniform(9.0, 12.0))
+    # Creep across the shallows well below the slow-motion threshold.
+    builder.sail_to(exit_point[0], exit_point[1], rng.uniform(2.5, 3.5))
+    if builder.time < start_time + duration:
+        builder.hold(start_time + duration - builder.time)
+    return Behaviour(spec, builder.build())
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+
+def _sail_between_ports(
+    builder: PlanBuilder,
+    origin: Port,
+    destination: Port,
+    rng: random.Random,
+    speed: float,
+) -> None:
+    """Port-to-port leg with slight doglegs and a slow approach phase."""
+    for lon, lat in _doglegs(
+        (origin.lon, origin.lat),
+        (destination.lon, destination.lat),
+        rng,
+        count=rng.randint(1, 3),
+    ):
+        builder.sail_to(lon, lat, speed)
+    # Decelerated approach into the port: triggers speed-change events.
+    approach_lon, approach_lat = destination_point(
+        destination.lon,
+        destination.lat,
+        initial_bearing_degrees(
+            destination.lon, destination.lat, builder.lon, builder.lat
+        ),
+        2500.0,
+    )
+    builder.sail_to(approach_lon, approach_lat, speed)
+    builder.sail_to(destination.lon, destination.lat, max(3.0, speed * 0.3))
+
+
+def _doglegs(
+    start: tuple[float, float],
+    end: tuple[float, float],
+    rng: random.Random,
+    count: int,
+) -> list[tuple[float, float]]:
+    """Intermediate waypoints slightly off the straight line."""
+    waypoints = []
+    for i in range(1, count + 1):
+        fraction = i / (count + 1)
+        base_lon = start[0] + fraction * (end[0] - start[0])
+        base_lat = start[1] + fraction * (end[1] - start[1])
+        waypoints.append(
+            destination_point(
+                base_lon,
+                base_lat,
+                rng.uniform(0.0, 360.0),
+                rng.uniform(1000.0, 5000.0),
+            )
+        )
+    return waypoints
+
+
+def _crossing_endpoints(
+    world: WorldModel, rng: random.Random
+) -> tuple[tuple[float, float], tuple[float, float]]:
+    """Entry/exit points on opposite sides of the world bbox."""
+    bbox = world.bbox
+    if rng.random() < 0.5:
+        entry = (bbox.min_lon, rng.uniform(bbox.min_lat + 0.3, bbox.max_lat - 0.3))
+        exit_point = (bbox.max_lon, rng.uniform(bbox.min_lat + 0.3, bbox.max_lat - 0.3))
+    else:
+        entry = (rng.uniform(bbox.min_lon + 0.3, bbox.max_lon - 0.3), bbox.min_lat)
+        exit_point = (rng.uniform(bbox.min_lon + 0.3, bbox.max_lon - 0.3), bbox.max_lat)
+    if rng.random() < 0.5:
+        entry, exit_point = exit_point, entry
+    return entry, exit_point
+
+
+def _random_open_sea_point(
+    world: WorldModel, rng: random.Random
+) -> tuple[float, float]:
+    """A point away from every regulated area and port."""
+    bbox = world.bbox
+    for _ in range(100):
+        lon = rng.uniform(bbox.min_lon + 0.3, bbox.max_lon - 0.3)
+        lat = rng.uniform(bbox.min_lat + 0.3, bbox.max_lat - 0.3)
+        clear = all(
+            not area.polygon.is_close(lon, lat, 5000.0) for area in world.areas
+        ) and all(
+            not port.polygon.is_close(lon, lat, 5000.0) for port in world.ports
+        )
+        if clear:
+            return lon, lat
+    return (bbox.min_lon + bbox.max_lon) / 2.0, (bbox.min_lat + bbox.max_lat) / 2.0
+
+
+def _travel_seconds(
+    lon: float, lat: float, target: tuple[float, float], speed_knots: float
+) -> int:
+    from repro.geo.haversine import haversine_meters
+    from repro.geo.units import knots_to_mps
+
+    distance = haversine_meters(lon, lat, target[0], target[1])
+    return round(distance / knots_to_mps(speed_knots))

@@ -1,0 +1,103 @@
+"""The Compressor: from trajectory events to critical points (Section 3.2).
+
+At each window slide the compressor takes the movement events the tracker
+detected in the fresh batch, filters out the kinds that never yield critical
+points (instantaneous pauses, discarded off-course positions), merges events
+of the same vessel at the same timestamp into a single annotated point, and
+maintains the per-vessel synopsis within the sliding window.  Expired
+("delta") critical points are handed back for the staging area.
+"""
+
+from dataclasses import dataclass
+
+from repro.tracking.types import (
+    CRITICAL_EVENT_TYPES,
+    CriticalPoint,
+    MovementEvent,
+)
+from repro.tracking.window import SlidingWindow, WindowSpec
+
+
+@dataclass
+class CompressionStatistics:
+    """Raw-versus-critical accounting for the compression study (Figure 9)."""
+
+    raw_positions: int = 0
+    critical_points: int = 0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Fraction of raw locations dropped; close to 1 means stronger
+        reduction.  0 when nothing has been consumed yet."""
+        if self.raw_positions == 0:
+            return 0.0
+        return 1.0 - (self.critical_points / self.raw_positions)
+
+
+class Compressor:
+    """Filter movement events into the windowed critical-point synopsis."""
+
+    def __init__(self, spec: WindowSpec):
+        self.window = SlidingWindow(spec)
+        self.statistics = CompressionStatistics()
+
+    def slide(
+        self,
+        events: list[MovementEvent],
+        query_time: int,
+        raw_position_count: int | None = None,
+    ) -> tuple[list[CriticalPoint], list[CriticalPoint]]:
+        """Process one slide; return ``(fresh, expired)`` critical points.
+
+        ``fresh`` are the critical points derived from this batch of events
+        (already merged and timestamp-ordered per vessel); ``expired`` are
+        the delta points that fell out of the window range and should move to
+        the staging area.
+        """
+        fresh = merge_events_into_critical_points(events)
+        if raw_position_count is not None:
+            self.statistics.raw_positions += raw_position_count
+        self.statistics.critical_points += len(fresh)
+        self.window.add(fresh)
+        expired = self.window.slide_to(query_time)
+        return fresh, expired
+
+    def synopsis(self, mmsi: int | None = None) -> list[CriticalPoint]:
+        """The current in-window synopsis (per vessel or fleet-wide)."""
+        points = self.window.contents(mmsi)
+        return sorted(points, key=lambda p: (p.mmsi, p.timestamp))
+
+
+def merge_events_into_critical_points(
+    events: list[MovementEvent],
+) -> list[CriticalPoint]:
+    """Merge simultaneous events per vessel into annotated critical points.
+
+    Only event kinds in :data:`CRITICAL_EVENT_TYPES` survive.  When several
+    events coincide (same vessel, same timestamp — e.g. a speed change with a
+    turn), their annotations union into one point; the representative
+    coordinates come from the longest-duration event (an aggregated stop
+    centroid outranks an instantaneous annotation at the same instant).
+    """
+    merged: dict[tuple[int, int], list[MovementEvent]] = {}
+    for event in events:
+        if event.event_type not in CRITICAL_EVENT_TYPES:
+            continue
+        merged.setdefault((event.mmsi, event.timestamp), []).append(event)
+
+    points = []
+    for (mmsi, timestamp), group in sorted(merged.items()):
+        representative = max(group, key=lambda e: e.duration_seconds)
+        points.append(
+            CriticalPoint(
+                mmsi=mmsi,
+                lon=representative.lon,
+                lat=representative.lat,
+                timestamp=timestamp,
+                annotations=frozenset(e.event_type for e in group),
+                speed_mps=representative.speed_mps,
+                heading_degrees=representative.heading_degrees,
+                duration_seconds=representative.duration_seconds,
+            )
+        )
+    return points

@@ -1,0 +1,86 @@
+"""Mobility-tracking parameters (Table 3 of the paper).
+
+===============================================  =======================
+Parameter                                        Paper value
+===============================================  =======================
+Minimum speed v_min for asserting movement       1 knot (~1.852 km/h)
+Rate of speed change alpha                       25 %
+Minimum gap period Delta-T                       10 minutes
+Turn threshold Delta-theta                       5, 10, **15**, 20 degrees
+Radius r for long-term stops                     200 meters
+Minimal number m of inspected positions          10
+===============================================  =======================
+"""
+
+from dataclasses import dataclass
+
+from repro.geo.units import knots_to_mps
+
+
+@dataclass(frozen=True)
+class TrackingParameters:
+    """Calibrated thresholds of the mobility tracker.
+
+    The defaults reproduce Table 3.  ``turn_threshold_degrees`` is the
+    Delta-theta knob swept in Figures 8 and 9.
+    """
+
+    #: Speed below which a vessel is considered halted (knots).
+    min_speed_knots: float = 1.0
+    #: Relative speed change (percent) that flags acceleration/deceleration.
+    speed_change_percent: float = 25.0
+    #: Silence longer than this marks a communication gap (seconds).
+    gap_period_seconds: int = 600
+    #: Heading change (degrees) that flags a turn, instantaneous or smooth.
+    turn_threshold_degrees: float = 15.0
+    #: Radius (meters) within which consecutive pauses form a long-term stop.
+    stop_radius_meters: float = 200.0
+    #: Speed (knots) below which a vessel counts as moving "too slowly" for
+    #: the slow-motion event.  Higher than v_min: a trawler fishing at 3-4
+    #: knots is in slow motion but not paused.
+    slow_speed_knots: float = 5.0
+    #: Number of latest positions inspected for long-lasting events.
+    inspected_positions: int = 10
+    #: Factor over the recent mean speed beyond which a point is off-course.
+    #: An off-course position incurs "a very abrupt change in velocity (both
+    #: in speed and heading)"; this bounds the speed part of that test.
+    outlier_speed_factor: float = 5.0
+    #: Minimum implied speed (knots) for the off-course test to trigger, so
+    #: that GPS jitter on an anchored vessel is not flagged as an outlier.
+    outlier_min_speed_knots: float = 20.0
+    #: Heading deviation (degrees) from the recent mean course that, combined
+    #: with the abrupt speed change, marks an off-course position.
+    outlier_heading_degrees: float = 60.0
+    #: Upper bound on consecutive discarded outliers per vessel: if this many
+    #: successive positions all look off-course, the course genuinely changed
+    #: and the tracker re-accepts input rather than dropping a real manoeuvre.
+    max_consecutive_outliers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.min_speed_knots <= 0:
+            raise ValueError("min_speed_knots must be positive")
+        if not 0 < self.speed_change_percent:
+            raise ValueError("speed_change_percent must be positive")
+        if self.gap_period_seconds <= 0:
+            raise ValueError("gap_period_seconds must be positive")
+        if not 0 < self.turn_threshold_degrees <= 180:
+            raise ValueError("turn_threshold_degrees must be in (0, 180]")
+        if self.stop_radius_meters <= 0:
+            raise ValueError("stop_radius_meters must be positive")
+        if self.inspected_positions < 2:
+            raise ValueError("inspected_positions must be at least 2")
+
+    @property
+    def min_speed_mps(self) -> float:
+        """v_min converted to meters per second."""
+        return knots_to_mps(self.min_speed_knots)
+
+    @property
+    def outlier_min_speed_mps(self) -> float:
+        """Outlier speed floor converted to meters per second."""
+        return knots_to_mps(self.outlier_min_speed_knots)
+
+    @property
+    def slow_speed_mps(self) -> float:
+        """Slow-motion threshold converted to meters per second."""
+        return knots_to_mps(self.slow_speed_knots)

@@ -1,0 +1,111 @@
+"""The Trajectory Exporter: map-ready output of synopses (Figure 1).
+
+"Once new trajectory events are detected per vessel upon each window slide,
+the annotated critical points can be readily emitted and visualized on maps
+through a Trajectory Exporter, e.g., as KML polylines (for trajectories) and
+placemarks (for vessel locations)." — Section 2.
+
+Both KML and GeoJSON are plain-text formats generated here without external
+dependencies.
+"""
+
+from collections import defaultdict
+from xml.sax.saxutils import escape
+
+from repro.tracking.types import CriticalPoint
+
+
+class TrajectoryExporter:
+    """Serialize critical-point synopses to KML or GeoJSON."""
+
+    def group_by_vessel(
+        self, points: list[CriticalPoint]
+    ) -> dict[int, list[CriticalPoint]]:
+        """Split a mixed point list into per-vessel timestamp-ordered tracks."""
+        tracks: dict[int, list[CriticalPoint]] = defaultdict(list)
+        for point in points:
+            tracks[point.mmsi].append(point)
+        for track in tracks.values():
+            track.sort(key=lambda p: p.timestamp)
+        return dict(tracks)
+
+    def to_kml(self, points: list[CriticalPoint]) -> str:
+        """KML document: one polyline per vessel plus annotated placemarks."""
+        tracks = self.group_by_vessel(points)
+        parts = [
+            '<?xml version="1.0" encoding="UTF-8"?>',
+            '<kml xmlns="http://www.opengis.net/kml/2.2">',
+            "<Document>",
+            "<name>Vessel trajectory synopses</name>",
+        ]
+        for mmsi, track in sorted(tracks.items()):
+            coordinates = " ".join(f"{p.lon:.6f},{p.lat:.6f},0" for p in track)
+            parts.append("<Placemark>")
+            parts.append(f"<name>vessel {mmsi}</name>")
+            parts.append(
+                f"<LineString><coordinates>{coordinates}</coordinates></LineString>"
+            )
+            parts.append("</Placemark>")
+            for point in track:
+                annotations = ", ".join(
+                    sorted(a.value for a in point.annotations)
+                )
+                parts.append("<Placemark>")
+                parts.append(f"<name>{escape(annotations)}</name>")
+                parts.append(
+                    "<description>"
+                    + escape(
+                        f"mmsi={mmsi} t={point.timestamp} "
+                        f"speed={point.speed_knots:.1f}kn"
+                    )
+                    + "</description>"
+                )
+                parts.append(
+                    "<Point><coordinates>"
+                    f"{point.lon:.6f},{point.lat:.6f},0"
+                    "</coordinates></Point>"
+                )
+                parts.append("</Placemark>")
+        parts.append("</Document>")
+        parts.append("</kml>")
+        return "\n".join(parts)
+
+    def to_geojson(self, points: list[CriticalPoint]) -> dict:
+        """GeoJSON FeatureCollection mirroring the KML structure.
+
+        Returns the collection as a plain dict ready for ``json.dumps``.
+        """
+        tracks = self.group_by_vessel(points)
+        features = []
+        for mmsi, track in sorted(tracks.items()):
+            features.append(
+                {
+                    "type": "Feature",
+                    "geometry": {
+                        "type": "LineString",
+                        "coordinates": [[p.lon, p.lat] for p in track],
+                    },
+                    "properties": {"mmsi": mmsi, "kind": "synopsis"},
+                }
+            )
+            for point in track:
+                features.append(
+                    {
+                        "type": "Feature",
+                        "geometry": {
+                            "type": "Point",
+                            "coordinates": [point.lon, point.lat],
+                        },
+                        "properties": {
+                            "mmsi": mmsi,
+                            "kind": "critical_point",
+                            "timestamp": point.timestamp,
+                            "annotations": sorted(
+                                a.value for a in point.annotations
+                            ),
+                            "speed_knots": round(point.speed_knots, 2),
+                            "duration_seconds": point.duration_seconds,
+                        },
+                    }
+                )
+        return {"type": "FeatureCollection", "features": features}

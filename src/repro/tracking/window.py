@@ -1,0 +1,97 @@
+"""Sliding windows over timestamped items (Section 2).
+
+A window abstracts the recent time horizon of interest: it covers a range
+``omega`` and moves forward at a slide step ``beta``.  Since usually
+``beta < omega``, successive window instantiations share tuples over their
+overlapping ranges.  Items expiring at a slide are returned to the caller —
+they are the "delta" critical points periodically shipped to the staging
+area on disk (Section 3.2).
+"""
+
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Protocol, TypeVar
+
+
+class Timestamped(Protocol):
+    """Anything carrying an integer ``timestamp`` attribute."""
+
+    timestamp: int
+
+
+ItemT = TypeVar("ItemT", bound=Timestamped)
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Range ``omega`` and slide ``beta`` of a sliding window, in seconds."""
+
+    range_seconds: int
+    slide_seconds: int
+
+    def __post_init__(self) -> None:
+        if self.range_seconds <= 0:
+            raise ValueError(f"window range must be positive: {self.range_seconds}")
+        if self.slide_seconds <= 0:
+            raise ValueError(f"window slide must be positive: {self.slide_seconds}")
+
+    @classmethod
+    def of_minutes(cls, range_minutes: float, slide_minutes: float) -> "WindowSpec":
+        """Build a spec from minutes (the paper quotes ranges in min/hours)."""
+        return cls(int(range_minutes * 60), int(slide_minutes * 60))
+
+    @classmethod
+    def of_hours(cls, range_hours: float, slide_hours: float) -> "WindowSpec":
+        """Build a spec from hours."""
+        return cls(int(range_hours * 3600), int(slide_hours * 3600))
+
+
+class SlidingWindow:
+    """Per-vessel store of timestamped items within the window range.
+
+    Items are kept in per-vessel deques ordered by timestamp (append order;
+    the tracker output per vessel is monotone).  ``slide_to(Q)`` evicts
+    everything with ``timestamp <= Q - omega`` and returns the evicted items.
+    """
+
+    def __init__(self, spec: WindowSpec):
+        self.spec = spec
+        self._items: dict[int, deque] = {}
+        self.query_time: int | None = None
+
+    def add(self, items: Iterable[ItemT], key=lambda item: item.mmsi) -> None:
+        """Insert fresh items, grouped by the vessel key."""
+        for item in items:
+            self._items.setdefault(key(item), deque()).append(item)
+
+    def slide_to(self, query_time: int) -> list:
+        """Advance the window to ``query_time``; return expired items."""
+        self.query_time = query_time
+        horizon = query_time - self.spec.range_seconds
+        expired: list = []
+        empty_keys = []
+        for vessel_key, items in self._items.items():
+            while items and items[0].timestamp <= horizon:
+                expired.append(items.popleft())
+            if not items:
+                empty_keys.append(vessel_key)
+        for vessel_key in empty_keys:
+            del self._items[vessel_key]
+        return expired
+
+    def contents(self, vessel_key: int | None = None) -> list:
+        """Current window contents, for one vessel or the whole fleet."""
+        if vessel_key is not None:
+            return list(self._items.get(vessel_key, ()))
+        everything: list = []
+        for items in self._items.values():
+            everything.extend(items)
+        return everything
+
+    def vessel_keys(self) -> list[int]:
+        """Vessels that currently have items in the window."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return sum(len(items) for items in self._items.values())

@@ -1,0 +1,49 @@
+"""Fuzz tests: hostile bytes must never crash the AIS stack."""
+
+from hypothesis import given, strategies as st
+
+from repro.ais.nmea import ChecksumError, NmeaFormatError, unwrap_aivdm
+from repro.ais.scanner import DataScanner
+
+
+class TestScannerFuzz:
+    @given(line=st.text(max_size=120))
+    def test_arbitrary_text_never_crashes(self, line):
+        scanner = DataScanner()
+        result = scanner.scan(0, line)
+        # Arbitrary text is (at best) rejected; it can never crash, and it
+        # is always accounted for in the statistics.
+        assert result is None or result.mmsi >= 0
+        assert scanner.statistics.total == 1
+
+    @given(line=st.binary(max_size=80).map(lambda b: b.decode("latin-1")))
+    def test_arbitrary_bytes_never_crash(self, line):
+        scanner = DataScanner()
+        scanner.scan(0, line)
+        assert scanner.statistics.total == 1
+
+    @given(
+        payload=st.text(
+            alphabet=[chr(c) for c in range(48, 88)]
+            + [chr(c) for c in range(96, 120)],
+            max_size=60,
+        ),
+        fill=st.integers(min_value=0, max_value=5),
+    )
+    def test_valid_framing_invalid_payload_rejected_cleanly(self, payload, fill):
+        # Random (but well-armored) payloads: the scanner either decodes a
+        # position report or rejects; never raises.
+        from repro.ais.nmea import wrap_aivdm
+
+        scanner = DataScanner()
+        scanner.scan(0, wrap_aivdm(payload, fill))
+        assert scanner.statistics.total == 1
+
+
+class TestUnwrapFuzz:
+    @given(line=st.text(max_size=120))
+    def test_unwrap_raises_only_documented_errors(self, line):
+        try:
+            unwrap_aivdm(line)
+        except (NmeaFormatError, ChecksumError):
+            pass

@@ -1,0 +1,99 @@
+"""Tests for NMEA AIVDM framing and checksums."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ais.nmea import (
+    ChecksumError,
+    NmeaFormatError,
+    nmea_checksum,
+    unwrap_aivdm,
+    wrap_aivdm,
+)
+
+payload_chars = st.text(
+    alphabet=[chr(c) for c in range(48, 88)] + [chr(c) for c in range(96, 120)],
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestChecksum:
+    def test_known_checksum(self):
+        # XOR of the characters of "AIVDM" = 0x41^0x49^0x56^0x44^0x4D.
+        expected = 0x41 ^ 0x49 ^ 0x56 ^ 0x44 ^ 0x4D
+        assert nmea_checksum("AIVDM") == f"{expected:02X}"
+
+    def test_empty_body(self):
+        assert nmea_checksum("") == "00"
+
+
+class TestWrapUnwrap:
+    def test_round_trip(self):
+        sentence = wrap_aivdm("13u?etPv2;0n:dDPwUM1U1Cb069D", 0)
+        parsed = unwrap_aivdm(sentence)
+        assert parsed.payload == "13u?etPv2;0n:dDPwUM1U1Cb069D"
+        assert parsed.fill_bits == 0
+        assert parsed.channel == "A"
+
+    def test_channel_preserved(self):
+        parsed = unwrap_aivdm(wrap_aivdm("0000", 2, channel="B"))
+        assert parsed.channel == "B"
+        assert parsed.fill_bits == 2
+
+    @given(payload=payload_chars, fill=st.integers(min_value=0, max_value=5))
+    def test_round_trip_property(self, payload, fill):
+        parsed = unwrap_aivdm(wrap_aivdm(payload, fill))
+        assert parsed.payload == payload
+        assert parsed.fill_bits == fill
+
+    def test_whitespace_tolerated(self):
+        sentence = wrap_aivdm("0000", 0)
+        assert unwrap_aivdm(f"  {sentence}\r\n").payload == "0000"
+
+
+class TestRejection:
+    def test_corrupted_payload_fails_checksum(self):
+        sentence = wrap_aivdm("13u?etPv2;0n:dDPwUM1U1Cb069D", 0)
+        corrupted = sentence.replace("etPv", "etPw", 1)
+        with pytest.raises(ChecksumError, match="checksum mismatch"):
+            unwrap_aivdm(corrupted)
+
+    def test_wrong_declared_checksum(self):
+        sentence = wrap_aivdm("0000", 0)
+        body, _, _ = sentence.rpartition("*")
+        with pytest.raises(ChecksumError):
+            unwrap_aivdm(body + "*FF")
+
+    def test_missing_bang(self):
+        with pytest.raises(NmeaFormatError, match="start with"):
+            unwrap_aivdm("AIVDM,1,1,,A,0000,0*00")
+
+    def test_missing_checksum_suffix(self):
+        with pytest.raises(NmeaFormatError, match="checksum suffix"):
+            unwrap_aivdm("!AIVDM,1,1,,A,0000,0")
+
+    def test_wrong_talker(self):
+        body = "GPGGA,1,1,,A,0000,0"
+        with pytest.raises(NmeaFormatError, match="not an AIVDM"):
+            unwrap_aivdm(f"!{body}*{nmea_checksum(body)}")
+
+    def test_wrong_field_count(self):
+        body = "AIVDM,1,1,,A,0000"
+        with pytest.raises(NmeaFormatError):
+            unwrap_aivdm(f"!{body}*{nmea_checksum(body)}")
+
+    def test_multi_fragment_rejected(self):
+        body = "AIVDM,2,1,5,A,0000,0"
+        with pytest.raises(NmeaFormatError, match="multi-fragment"):
+            unwrap_aivdm(f"!{body}*{nmea_checksum(body)}")
+
+    def test_non_numeric_framing(self):
+        body = "AIVDM,x,1,,A,0000,0"
+        with pytest.raises(NmeaFormatError, match="non-numeric"):
+            unwrap_aivdm(f"!{body}*{nmea_checksum(body)}")
+
+    def test_empty_payload(self):
+        body = "AIVDM,1,1,,A,,0"
+        with pytest.raises(NmeaFormatError, match="empty payload"):
+            unwrap_aivdm(f"!{body}*{nmea_checksum(body)}")

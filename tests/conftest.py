@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.simulator import FleetSimulator, build_aegean_world
+from repro.tracking import TrackingParameters
+
+
+@pytest.fixture(scope="session")
+def world():
+    """The default Aegean-like world (10 ports, 35 areas)."""
+    return build_aegean_world()
+
+
+@pytest.fixture(scope="session")
+def small_fleet(world):
+    """A small deterministic mixed fleet with its merged stream."""
+    simulator = FleetSimulator(world, seed=99, duration_seconds=4 * 3600)
+    fleet = simulator.build_mixed_fleet(12)
+    return {
+        "simulator": simulator,
+        "fleet": fleet,
+        "specs": {vessel.mmsi: vessel.spec for vessel in fleet},
+        "stream": simulator.positions(fleet),
+    }
+
+
+@pytest.fixture()
+def params():
+    """Default Table 3 tracking parameters."""
+    return TrackingParameters()

@@ -1,0 +1,141 @@
+"""Unit and property tests for great-circle geometry."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.haversine import (
+    EARTH_RADIUS_METERS,
+    destination_point,
+    haversine_meters,
+    heading_difference_degrees,
+    initial_bearing_degrees,
+    signed_heading_change_degrees,
+)
+
+# Strategies over the Aegean-ish working region to avoid polar degeneracies.
+lons = st.floats(min_value=-179.0, max_value=179.0)
+lats = st.floats(min_value=-85.0, max_value=85.0)
+headings = st.floats(min_value=0.0, max_value=360.0, exclude_max=True)
+
+
+class TestHaversine:
+    def test_zero_distance_for_identical_points(self):
+        assert haversine_meters(23.6, 37.9, 23.6, 37.9) == 0.0
+
+    def test_one_degree_of_latitude(self):
+        # One degree of latitude is ~111.2 km on the mean sphere.
+        distance = haversine_meters(23.0, 37.0, 23.0, 38.0)
+        assert distance == pytest.approx(111_195, rel=1e-3)
+
+    def test_longitude_distance_shrinks_with_latitude(self):
+        at_equator = haversine_meters(23.0, 0.0, 24.0, 0.0)
+        at_38_north = haversine_meters(23.0, 38.0, 24.0, 38.0)
+        assert at_38_north < at_equator
+        assert at_38_north == pytest.approx(
+            at_equator * math.cos(math.radians(38.0)), rel=1e-2
+        )
+
+    def test_antipodal_distance_is_half_circumference(self):
+        distance = haversine_meters(0.0, 0.0, 180.0, 0.0)
+        assert distance == pytest.approx(math.pi * EARTH_RADIUS_METERS, rel=1e-9)
+
+    @given(lon1=lons, lat1=lats, lon2=lons, lat2=lats)
+    def test_symmetry(self, lon1, lat1, lon2, lat2):
+        forward = haversine_meters(lon1, lat1, lon2, lat2)
+        backward = haversine_meters(lon2, lat2, lon1, lat1)
+        assert forward == pytest.approx(backward, abs=1e-6)
+
+    @given(lon1=lons, lat1=lats, lon2=lons, lat2=lats)
+    def test_non_negative_and_bounded(self, lon1, lat1, lon2, lat2):
+        distance = haversine_meters(lon1, lat1, lon2, lat2)
+        assert 0.0 <= distance <= math.pi * EARTH_RADIUS_METERS + 1.0
+
+    @given(lon=lons, lat=lats, lon2=lons, lat2=lats, lon3=lons, lat3=lats)
+    def test_triangle_inequality(self, lon, lat, lon2, lat2, lon3, lat3):
+        direct = haversine_meters(lon, lat, lon3, lat3)
+        via = haversine_meters(lon, lat, lon2, lat2) + haversine_meters(
+            lon2, lat2, lon3, lat3
+        )
+        assert direct <= via + 1e-6
+
+
+class TestBearing:
+    def test_due_north(self):
+        assert initial_bearing_degrees(23.0, 37.0, 23.0, 38.0) == pytest.approx(0.0)
+
+    def test_due_east(self):
+        bearing = initial_bearing_degrees(23.0, 0.0, 24.0, 0.0)
+        assert bearing == pytest.approx(90.0, abs=0.01)
+
+    def test_due_south(self):
+        bearing = initial_bearing_degrees(23.0, 38.0, 23.0, 37.0)
+        assert bearing == pytest.approx(180.0)
+
+    def test_identical_points_convention(self):
+        assert initial_bearing_degrees(23.0, 37.0, 23.0, 37.0) == 0.0
+
+    @given(lon1=lons, lat1=lats, lon2=lons, lat2=lats)
+    def test_range(self, lon1, lat1, lon2, lat2):
+        bearing = initial_bearing_degrees(lon1, lat1, lon2, lat2)
+        assert 0.0 <= bearing < 360.0
+
+
+class TestHeadingDifference:
+    @pytest.mark.parametrize(
+        "h1, h2, expected",
+        [
+            (0.0, 0.0, 0.0),
+            (0.0, 180.0, 180.0),
+            (350.0, 10.0, 20.0),
+            (10.0, 350.0, 20.0),
+            (90.0, 270.0, 180.0),
+            (359.0, 1.0, 2.0),
+        ],
+    )
+    def test_wraparound(self, h1, h2, expected):
+        assert heading_difference_degrees(h1, h2) == pytest.approx(expected)
+
+    @given(h1=headings, h2=headings)
+    def test_symmetric_and_bounded(self, h1, h2):
+        diff = heading_difference_degrees(h1, h2)
+        assert 0.0 <= diff <= 180.0
+        assert diff == pytest.approx(heading_difference_degrees(h2, h1))
+
+
+class TestSignedHeadingChange:
+    def test_clockwise_positive(self):
+        assert signed_heading_change_degrees(10.0, 30.0) == pytest.approx(20.0)
+
+    def test_counterclockwise_negative(self):
+        assert signed_heading_change_degrees(30.0, 10.0) == pytest.approx(-20.0)
+
+    def test_wrap_through_north(self):
+        assert signed_heading_change_degrees(350.0, 10.0) == pytest.approx(20.0)
+        assert signed_heading_change_degrees(10.0, 350.0) == pytest.approx(-20.0)
+
+    @given(h1=headings, h2=headings)
+    def test_magnitude_matches_unsigned(self, h1, h2):
+        signed = signed_heading_change_degrees(h1, h2)
+        unsigned = heading_difference_degrees(h1, h2)
+        assert abs(signed) == pytest.approx(unsigned, abs=1e-9)
+
+
+class TestDestinationPoint:
+    @given(lon=st.floats(min_value=-170, max_value=170),
+           lat=st.floats(min_value=-70, max_value=70),
+           bearing=headings,
+           distance=st.floats(min_value=0.0, max_value=100_000.0))
+    def test_round_trip_distance(self, lon, lat, bearing, distance):
+        lon2, lat2 = destination_point(lon, lat, bearing, distance)
+        measured = haversine_meters(lon, lat, lon2, lat2)
+        assert measured == pytest.approx(distance, abs=0.5)
+
+    def test_zero_distance_is_identity(self):
+        lon2, lat2 = destination_point(23.5, 37.5, 123.0, 0.0)
+        assert (lon2, lat2) == pytest.approx((23.5, 37.5))
+
+    def test_longitude_normalized(self):
+        lon2, _ = destination_point(179.9, 0.0, 90.0, 50_000.0)
+        assert -180.0 < lon2 <= 180.0

@@ -1,0 +1,70 @@
+"""Tests for track interpolation and synchronization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.interpolate import interpolate_position, synchronize_track
+
+
+class TestInterpolatePosition:
+    def test_midpoint(self):
+        lon, lat = interpolate_position((0.0, 0.0, 0), (1.0, 2.0, 100), 50)
+        assert (lon, lat) == pytest.approx((0.5, 1.0))
+
+    def test_clamps_before_start(self):
+        lon, lat = interpolate_position((0.0, 0.0, 10), (1.0, 1.0, 20), 5)
+        assert (lon, lat) == (0.0, 0.0)
+
+    def test_clamps_after_end(self):
+        lon, lat = interpolate_position((0.0, 0.0, 10), (1.0, 1.0, 20), 25)
+        assert (lon, lat) == (1.0, 1.0)
+
+    def test_degenerate_zero_duration(self):
+        lon, lat = interpolate_position((0.0, 0.0, 10), (1.0, 1.0, 10), 10)
+        assert (lon, lat) == (0.0, 0.0)
+
+    @given(fraction=st.floats(min_value=0.0, max_value=1.0))
+    def test_stays_on_segment(self, fraction):
+        timestamp = int(fraction * 1000)
+        lon, lat = interpolate_position((0.0, 0.0, 0), (1.0, 1.0, 1000), timestamp)
+        assert 0.0 <= lon <= 1.0
+        assert lat == pytest.approx(lon, abs=1e-9)
+
+
+class TestSynchronizeTrack:
+    def test_exact_vertex_timestamps(self):
+        track = [(0.0, 0.0, 0), (1.0, 0.0, 100), (1.0, 1.0, 200)]
+        result = synchronize_track([0, 100, 200], track)
+        assert result == [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)]
+
+    def test_interpolated_timestamps(self):
+        track = [(0.0, 0.0, 0), (2.0, 0.0, 200)]
+        result = synchronize_track([50, 150], track)
+        assert result[0] == pytest.approx((0.5, 0.0))
+        assert result[1] == pytest.approx((1.5, 0.0))
+
+    def test_clamps_outside_span(self):
+        track = [(1.0, 1.0, 100), (2.0, 2.0, 200)]
+        result = synchronize_track([0, 300], track)
+        assert result == [(1.0, 1.0), (2.0, 2.0)]
+
+    def test_empty_compressed_track_raises(self):
+        with pytest.raises(ValueError, match="empty compressed track"):
+            synchronize_track([0], [])
+
+    def test_non_monotone_track_raises(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            synchronize_track([0], [(0.0, 0.0, 10), (1.0, 1.0, 10)])
+
+    def test_single_point_track(self):
+        result = synchronize_track([0, 50, 100], [(3.0, 4.0, 42)])
+        assert result == [(3.0, 4.0)] * 3
+
+    @given(
+        timestamps=st.lists(
+            st.integers(min_value=0, max_value=1000), min_size=1, max_size=30
+        )
+    )
+    def test_output_length_matches_input(self, timestamps):
+        track = [(0.0, 0.0, 0), (1.0, 1.0, 500), (2.0, 0.0, 1000)]
+        assert len(synchronize_track(timestamps, track)) == len(timestamps)

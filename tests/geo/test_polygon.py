@@ -1,0 +1,145 @@
+"""Unit and property tests for polygonal areas."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.haversine import destination_point
+from repro.geo.polygon import (
+    BoundingBox,
+    GeoPolygon,
+    nearest_area,
+    point_distance_meters,
+)
+
+
+# Shared immutable polygon: hypothesis-driven tests reuse it directly since
+# a function-scoped fixture would not reset between generated inputs.
+SQUARE = GeoPolygon.rectangle("square", 23.6, 37.9, 2000.0, 2000.0)
+
+
+@pytest.fixture()
+def square():
+    """A ~2 km x 2 km square around (23.6, 37.9)."""
+    return SQUARE
+
+
+class TestConstruction:
+    def test_requires_three_vertices(self):
+        with pytest.raises(ValueError, match="at least 3 vertices"):
+            GeoPolygon("bad", [(0.0, 0.0), (1.0, 1.0)])
+
+    def test_repr_mentions_name(self, square):
+        assert "square" in repr(square)
+
+    def test_bbox_encloses_vertices(self, square):
+        for lon, lat in square.vertices:
+            assert square.bbox.contains(lon, lat)
+
+
+class TestContains:
+    def test_center_inside(self, square):
+        assert square.contains(23.6, 37.9)
+
+    def test_far_point_outside(self, square):
+        assert not square.contains(24.6, 37.9)
+
+    def test_just_outside_bbox_shortcut(self, square):
+        assert not square.contains(square.bbox.max_lon + 0.001, 37.9)
+
+    def test_concave_polygon(self):
+        # A "C" shape: the notch is outside even though the bbox covers it.
+        c_shape = GeoPolygon(
+            "c",
+            [(0, 0), (4, 0), (4, 1), (1, 1), (1, 3), (4, 3), (4, 4), (0, 4)],
+        )
+        assert c_shape.contains(0.5, 2.0)
+        assert not c_shape.contains(3.0, 2.0)  # inside the notch
+
+    @given(
+        bearing=st.floats(min_value=0, max_value=360, exclude_max=True),
+        distance=st.floats(min_value=3000.0, max_value=50_000.0),
+    )
+    def test_points_beyond_halfwidth_are_outside(self, bearing, distance):
+        lon, lat = destination_point(23.6, 37.9, bearing, distance)
+        assert not SQUARE.contains(lon, lat)
+
+
+class TestDistance:
+    def test_inside_is_zero(self, square):
+        assert square.distance_meters(23.6, 37.9) == 0.0
+
+    def test_outside_distance_matches_offset(self, square):
+        # 5 km east of the center -> ~4 km from the 1 km-half-width edge.
+        lon, lat = destination_point(23.6, 37.9, 90.0, 5000.0)
+        distance = square.distance_meters(lon, lat)
+        assert distance == pytest.approx(4000.0, rel=0.02)
+
+    def test_is_close_threshold(self, square):
+        lon, lat = destination_point(23.6, 37.9, 0.0, 2500.0)  # 1.5 km from edge
+        assert square.is_close(lon, lat, 2000.0)
+        assert not square.is_close(lon, lat, 1000.0)
+
+    def test_is_close_inside(self, square):
+        assert square.is_close(23.6, 37.9, 1.0)
+
+    @given(
+        bearing=st.floats(min_value=0, max_value=360, exclude_max=True),
+        distance=st.floats(min_value=0.0, max_value=20_000.0),
+    )
+    def test_distance_never_negative(self, bearing, distance):
+        lon, lat = destination_point(23.6, 37.9, bearing, distance)
+        assert SQUARE.distance_meters(lon, lat) >= 0.0
+
+
+class TestCentroidAndArea:
+    def test_rectangle_centroid_is_center(self, square):
+        lon, lat = square.centroid
+        assert lon == pytest.approx(23.6, abs=1e-9)
+        assert lat == pytest.approx(37.9, abs=1e-9)
+
+    def test_rectangle_area(self, square):
+        assert square.area_square_meters() == pytest.approx(4_000_000, rel=0.01)
+
+    def test_degenerate_ring_falls_back_to_vertex_mean(self):
+        # All vertices on a line: zero signed area.
+        line = GeoPolygon("line", [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)])
+        lon, lat = line.centroid
+        assert lon == pytest.approx(1.0)
+        assert lat == pytest.approx(0.0)
+
+
+class TestBoundingBox:
+    def test_contains_boundary(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.contains(0.0, 0.0)
+        assert box.contains(1.0, 1.0)
+        assert not box.contains(1.0001, 0.5)
+
+    def test_expanded_is_superset(self):
+        box = BoundingBox(23.0, 37.0, 24.0, 38.0)
+        grown = box.expanded(10_000.0)
+        assert grown.min_lon < box.min_lon
+        assert grown.max_lat > box.max_lat
+
+    def test_center(self):
+        box = BoundingBox(22.0, 36.0, 24.0, 38.0)
+        assert box.center == (23.0, 37.0)
+
+
+class TestHelpers:
+    def test_nearest_area_picks_closest(self):
+        near = GeoPolygon.rectangle("near", 23.6, 37.9, 1000, 1000)
+        far = GeoPolygon.rectangle("far", 25.0, 37.9, 1000, 1000)
+        best, distance = nearest_area([far, near], 23.62, 37.9)
+        assert best is near
+        assert distance < 10_000
+
+    def test_nearest_area_empty_list(self):
+        best, distance = nearest_area([], 23.6, 37.9)
+        assert best is None
+        assert distance == math.inf
+
+    def test_point_distance_tuples(self):
+        assert point_distance_meters((23.0, 37.0), (23.0, 37.0)) == 0.0

@@ -1,0 +1,23 @@
+"""Tests for unit conversions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.units import KNOT_IN_METERS_PER_SECOND, knots_to_mps, mps_to_knots
+
+
+def test_one_knot_definition():
+    assert KNOT_IN_METERS_PER_SECOND == pytest.approx(0.514444, rel=1e-5)
+
+
+def test_knots_to_mps():
+    assert knots_to_mps(10.0) == pytest.approx(5.14444, rel=1e-5)
+
+
+def test_mps_to_knots():
+    assert mps_to_knots(5.14444) == pytest.approx(10.0, rel=1e-4)
+
+
+@given(speed=st.floats(min_value=0.0, max_value=1000.0))
+def test_round_trip(speed):
+    assert mps_to_knots(knots_to_mps(speed)) == pytest.approx(speed, abs=1e-9)

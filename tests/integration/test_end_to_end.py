@@ -1,0 +1,115 @@
+"""Full Figure-1 pipeline integration: AIS sentences in, archives out."""
+
+from repro.ais import DataScanner, PositionReport, encode_position_report, wrap_aivdm
+from repro.ais.stream import StreamReplayer, TimedArrival
+from repro.mod import compute_od_matrix, compute_trip_statistics
+from repro.pipeline import SurveillanceSystem, SystemConfig
+from repro.simulator import FleetSimulator
+from repro.tracking import WindowSpec
+
+
+def to_sentences(positions):
+    """Encode positional tuples as raw AIVDM sentences."""
+    sentences = []
+    for position in positions:
+        report = PositionReport(
+            1, position.mmsi, position.lon, position.lat, 10.0, 90.0,
+            position.timestamp % 60,
+        )
+        payload, fill = encode_position_report(report)
+        sentences.append((position.timestamp, wrap_aivdm(payload, fill)))
+    return sentences
+
+
+class TestFromRawAis:
+    def test_scanner_to_archive(self, world):
+        simulator = FleetSimulator(world, seed=31, duration_seconds=4 * 3600)
+        fleet = simulator.build_mixed_fleet(8)
+        specs = {vessel.mmsi: vessel.spec for vessel in fleet}
+        stream = simulator.positions(fleet)
+
+        # Encode to NMEA, corrupt a slice, and scan back.
+        sentences = to_sentences(stream)
+        corrupted = [
+            (t, s[:-2] + "ZZ") if i % 37 == 0 else (t, s)
+            for i, (t, s) in enumerate(sentences)
+        ]
+        scanner = DataScanner()
+        recovered = scanner.scan_many(corrupted)
+        assert scanner.statistics.bad_checksum > 0
+        # Positions decode within AIS precision of the originals.
+        assert len(recovered) == len(stream) - scanner.statistics.rejected
+
+        system = SurveillanceSystem(
+            world, specs, SystemConfig(window=WindowSpec.of_hours(1, 0.5))
+        )
+        arrivals = [TimedArrival(p.timestamp, p) for p in recovered]
+        for query_time, batch in StreamReplayer(arrivals, 1800).batches():
+            system.process_slide(batch, query_time)
+        system.finalize()
+
+        # The archive holds the whole fleet's critical points.
+        stats = compute_trip_statistics(system.database)
+        total_points = (
+            stats.critical_points_in_trips + stats.critical_points_in_staging
+        )
+        assert total_points > 0
+        matrix = compute_od_matrix(system.database)
+        assert isinstance(matrix.cells, dict)
+
+    def test_precision_loss_is_bounded(self, world):
+        # AIS quantizes coordinates to 1/10000 arc-minute; the scanner's
+        # output deviates from the simulator's floats by < 2 m.
+        from repro.geo.haversine import haversine_meters
+
+        simulator = FleetSimulator(world, seed=32, duration_seconds=1800)
+        fleet = simulator.build_mixed_fleet(2)
+        stream = simulator.positions(fleet)[:50]
+        scanner = DataScanner()
+        recovered = scanner.scan_many(to_sentences(stream))
+        for original, decoded in zip(stream, recovered):
+            assert decoded.mmsi == original.mmsi
+            assert (
+                haversine_meters(
+                    original.lon, original.lat, decoded.lon, decoded.lat
+                )
+                < 2.0
+            )
+
+
+class TestConsistencyInvariants:
+    def test_critical_points_never_exceed_raw(self, world, small_fleet):
+        system = SurveillanceSystem(
+            world, small_fleet["specs"],
+            SystemConfig(window=WindowSpec.of_hours(1, 0.25)),
+        )
+        arrivals = [
+            TimedArrival(p.timestamp, p) for p in small_fleet["stream"]
+        ]
+        for query_time, batch in StreamReplayer(arrivals, 900).batches():
+            report = system.process_slide(batch, query_time)
+            assert report.fresh_critical_points <= max(
+                1, report.raw_positions + report.movement_events
+            )
+        stats = system.compressor.statistics
+        assert stats.critical_points <= stats.raw_positions
+
+    def test_window_lag_invariant(self, world, small_fleet):
+        # Archived data always lags the live window by omega: no archived
+        # point may be newer than query_time - range.
+        config = SystemConfig(window=WindowSpec.of_hours(1, 0.25))
+        system = SurveillanceSystem(world, small_fleet["specs"], config)
+        arrivals = [
+            TimedArrival(p.timestamp, p) for p in small_fleet["stream"]
+        ]
+        last_query = 0
+        for query_time, batch in StreamReplayer(arrivals, 900).batches():
+            system.process_slide(batch, query_time)
+            last_query = query_time
+        horizon = last_query - config.window.range_seconds
+        cursor = system.database.connection.execute(
+            "SELECT MAX(timestamp) FROM staging"
+        )
+        newest_staged = cursor.fetchone()[0]
+        if newest_staged is not None:
+            assert newest_staged <= horizon

@@ -1,0 +1,33 @@
+"""Smoke tests: the example scripts must run and produce their output.
+
+Only the quicker examples run here (the analytics ones simulate a full day
+and belong to manual runs); each is executed in-process with stdout
+captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    sys.argv = [name]
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        output = run_example("quickstart.py", capsys)
+        assert "compression ratio" in output
+        assert "Number of trips between ports" in output
+
+    def test_protected_area_patrol(self, capsys):
+        output = run_example("protected_area_patrol.py", capsys)
+        assert "illegalShipping" in output
+        assert "honest vessels wrongly flagged: none" in output

@@ -1,0 +1,115 @@
+"""Tests for the atemporal predicates and counter fluents."""
+
+from repro.geo.polygon import GeoPolygon
+from repro.maritime.predicates import (
+    _count_step_function,
+    make_close_predicate,
+    make_fishing_predicate,
+    make_shallow_predicate,
+)
+from repro.rtec.intervals import OPEN
+from repro.simulator.vessel import VesselSpec, VesselType
+from repro.simulator.world import Area, AreaKind
+
+
+def make_area(name, lon, lat, kind=AreaKind.PROTECTED, depth=0.0, size=2000.0):
+    return Area(name, kind, GeoPolygon.rectangle(name, lon, lat, size, size), depth)
+
+
+class TestClosePredicate:
+    def test_enumerates_nearby_areas(self):
+        areas = [
+            make_area("a", 24.0, 38.0),
+            make_area("b", 24.02, 38.0),
+            make_area("c", 26.0, 38.0),
+        ]
+        close = make_close_predicate(areas, 3000.0)
+        names = {name for (name,) in close(24.0, 38.0)}
+        assert names == {"a", "b"}
+
+    def test_point_inside_area_is_close(self):
+        close = make_close_predicate([make_area("a", 24.0, 38.0)], 1.0)
+        assert close(24.0, 38.0) == [("a",)]
+
+    def test_empty_area_list(self):
+        close = make_close_predicate([], 3000.0)
+        assert close(24.0, 38.0) == []
+
+    def test_restriction_acts_as_declarations(self):
+        # Only the areas given at construction are ever enumerated.
+        watch = [make_area("watched", 24.0, 38.0)]
+        close = make_close_predicate(watch, 1e7)
+        names = {name for (name,) in close(24.0, 38.0)}
+        assert names == {"watched"}
+
+
+class TestShallowPredicate:
+    def test_draft_exceeding_depth(self):
+        areas = [make_area("sh", 24.0, 38.0, AreaKind.SHALLOW, depth=6.0)]
+        specs = {
+            1: VesselSpec(1, VesselType.TANKER, 9.0, False),
+            2: VesselSpec(2, VesselType.FISHING, 3.0, True),
+        }
+        shallow = make_shallow_predicate(areas, specs)
+        assert shallow("sh", 1)
+        assert not shallow("sh", 2)
+
+    def test_unknown_vessel_or_area_safe(self):
+        areas = [make_area("sh", 24.0, 38.0, AreaKind.SHALLOW, depth=6.0)]
+        shallow = make_shallow_predicate(areas, {})
+        assert not shallow("sh", 999)
+        assert not shallow("nope", 1)
+
+
+class TestFishingPredicate:
+    def test_designation(self):
+        specs = {
+            1: VesselSpec(1, VesselType.FISHING, 3.0, True),
+            2: VesselSpec(2, VesselType.CARGO, 8.0, False),
+        }
+        fishing = make_fishing_predicate(specs)
+        assert fishing(1)
+        assert not fishing(2)
+        assert not fishing(404)
+
+
+class TestCountStepFunction:
+    def test_single_vessel(self):
+        intervals = _count_step_function([(10, +1), (30, -1)], leading_edge=0)
+        assert intervals[0] == [(0, 10), (30, OPEN)]
+        assert intervals[1] == [(10, 30)]
+
+    def test_overlapping_vessels(self):
+        changes = [(10, +1), (20, +1), (30, -1), (40, -1)]
+        intervals = _count_step_function(changes, leading_edge=0)
+        assert intervals[1] == [(10, 20), (30, 40)]
+        assert intervals[2] == [(20, 30)]
+
+    def test_simultaneous_changes_merge(self):
+        # Two vessels stopping at the same second: the count jumps by 2.
+        changes = [(10, +1), (10, +1), (50, -1)]
+        intervals = _count_step_function(changes, leading_edge=0)
+        assert 1 not in intervals or (10, 10) not in intervals.get(1, [])
+        assert intervals[2] == [(10, 50)]
+
+    def test_empty_changes_all_zero(self):
+        intervals = _count_step_function([], leading_edge=100)
+        assert intervals == {0: [(100, OPEN)]}
+
+    def test_counts_never_negative(self):
+        changes = [(10, +1), (20, -1), (30, -1)]  # pathological extra -1
+        intervals = _count_step_function(changes, leading_edge=0)
+        assert all(count >= -1 for count in intervals)
+
+    def test_values_partition_time(self):
+        from repro.rtec.intervals import holds_at
+
+        changes = [(10, +1), (25, +1), (40, -1), (60, -1)]
+        intervals = _count_step_function(changes, leading_edge=0)
+        for probe in range(1, 80, 3):
+            holding = [
+                count
+                for count, ivs in intervals.items()
+                if holds_at(ivs, probe)
+            ]
+            assert len(holding) == 1

@@ -1,0 +1,110 @@
+"""Tests for offline analytics (Table 4, OD matrices, vessel summaries)."""
+
+import pytest
+
+from repro.geo.polygon import GeoPolygon
+from repro.mod.analytics import (
+    compute_od_matrix,
+    compute_trip_statistics,
+    vessel_travel_summary,
+)
+from repro.mod.database import MovingObjectDatabase
+from repro.simulator.world import Port
+from repro.tracking.types import CriticalPoint, MovementEventType
+
+PORT_A = Port("alpha", 23.0, 38.0, GeoPolygon.rectangle("pa", 23.0, 38.0, 3000, 3000))
+PORT_B = Port("beta", 24.0, 38.0, GeoPolygon.rectangle("pb", 24.0, 38.0, 3000, 3000))
+
+
+def stop_at(port, timestamp, mmsi=1):
+    return CriticalPoint(
+        mmsi=mmsi, lon=port.lon, lat=port.lat, timestamp=timestamp,
+        annotations=frozenset({MovementEventType.STOP_END}),
+    )
+
+
+def waypoint(lon, timestamp, mmsi=1):
+    return CriticalPoint(
+        mmsi=mmsi, lon=lon, lat=38.0, timestamp=timestamp,
+        annotations=frozenset({MovementEventType.TURN}),
+    )
+
+
+@pytest.fixture()
+def mod():
+    with MovingObjectDatabase([PORT_A, PORT_B]) as database:
+        # Vessel 1 does alpha->beta and beta->alpha; vessel 2 alpha->beta.
+        database.stage_points([
+            stop_at(PORT_A, 0),
+            waypoint(23.5, 1000),
+            stop_at(PORT_B, 2000),
+            waypoint(23.5, 3000),
+            stop_at(PORT_A, 4000),
+        ])
+        database.stage_points([
+            stop_at(PORT_A, 100, mmsi=2),
+            waypoint(23.5, 1100, mmsi=2),
+            stop_at(PORT_B, 2100, mmsi=2),
+        ])
+        database.reconstruct()
+        yield database
+
+
+class TestTripStatistics:
+    def test_counts(self, mod):
+        stats = compute_trip_statistics(mod)
+        assert stats.trip_count == 3
+        assert stats.vessels_with_trips == 2
+        assert stats.average_trips_per_vessel == pytest.approx(1.5)
+        assert stats.critical_points_in_trips > 0
+
+    def test_averages(self, mod):
+        stats = compute_trip_statistics(mod)
+        assert stats.average_travel_time_seconds == pytest.approx(2000.0)
+        assert stats.average_distance_meters > 50_000
+
+    def test_format_table(self, mod):
+        rendered = compute_trip_statistics(mod).format_table()
+        assert "Number of trips between ports" in rendered
+        assert "Average trips per vessel" in rendered
+        assert "km" in rendered
+
+    def test_empty_archive(self):
+        with MovingObjectDatabase([PORT_A]) as empty:
+            stats = compute_trip_statistics(empty)
+            assert stats.trip_count == 0
+            assert stats.average_trips_per_vessel == 0.0
+            assert "0" in stats.format_table()
+
+
+class TestOdMatrix:
+    def test_cells(self, mod):
+        matrix = compute_od_matrix(mod)
+        assert matrix.trip_count("alpha", "beta") == 2
+        assert matrix.trip_count("beta", "alpha") == 1
+        assert matrix.trip_count("beta", "gamma") == 0
+
+    def test_busiest(self, mod):
+        busiest = compute_od_matrix(mod).busiest(1)
+        assert busiest[0][0] == ("alpha", "beta")
+        assert busiest[0][1] == 2
+
+    def test_cell_aggregates(self, mod):
+        matrix = compute_od_matrix(mod)
+        cell = matrix.cells[("alpha", "beta")]
+        assert cell["average_travel_time_seconds"] == pytest.approx(2000.0)
+        assert cell["average_distance_meters"] > 0
+
+
+class TestVesselSummary:
+    def test_summary(self, mod):
+        summary = vessel_travel_summary(mod, 1)
+        assert summary["trips"] == 2
+        assert summary["total_distance_meters"] > 0
+        assert summary["total_travel_time_seconds"] == 4000
+        assert summary["ports_visited"] == ["alpha", "beta"]
+
+    def test_unknown_vessel(self, mod):
+        summary = vessel_travel_summary(mod, 404)
+        assert summary["trips"] == 0
+        assert summary["ports_visited"] == []

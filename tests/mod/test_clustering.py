@@ -1,0 +1,86 @@
+"""Tests for spatiotemporal trip clustering."""
+
+import pytest
+
+from repro.geo.polygon import GeoPolygon
+from repro.mod.clustering import cluster_trips, spatiotemporal_distance
+from repro.mod.database import MovingObjectDatabase
+from repro.simulator.world import Port
+from repro.tracking.types import CriticalPoint, MovementEventType
+
+PORT_A = Port("alpha", 23.0, 38.0, GeoPolygon.rectangle("pa", 23.0, 38.0, 3000, 3000))
+PORT_B = Port("beta", 24.0, 38.0, GeoPolygon.rectangle("pb", 24.0, 38.0, 3000, 3000))
+
+
+def voyage(mmsi, start, detour_lat=38.0):
+    """Alpha-to-beta voyage; ``detour_lat`` bends the mid-route waypoints."""
+
+    def stop(port, t):
+        return CriticalPoint(
+            mmsi=mmsi, lon=port.lon, lat=port.lat, timestamp=t,
+            annotations=frozenset({MovementEventType.STOP_END}),
+        )
+
+    def wp(lon, t):
+        return CriticalPoint(
+            mmsi=mmsi, lon=lon, lat=detour_lat, timestamp=t,
+            annotations=frozenset({MovementEventType.TURN}),
+        )
+
+    return [
+        stop(PORT_A, start),
+        wp(23.3, start + 1000),
+        wp(23.6, start + 2000),
+        stop(PORT_B, start + 3000),
+    ]
+
+
+@pytest.fixture()
+def mod():
+    with MovingObjectDatabase([PORT_A, PORT_B]) as database:
+        # Two near-simultaneous runs of the same route (one cluster),
+        # one run of the same route 12 hours later (time separates it),
+        # and one spatially distinct route.
+        database.stage_points(voyage(1, 0))
+        database.stage_points(voyage(2, 600))
+        database.stage_points(voyage(3, 43_200))
+        database.stage_points(voyage(4, 300, detour_lat=38.6))
+        database.reconstruct()
+        yield database
+
+
+class TestClustering:
+    def test_simultaneous_same_route_cluster(self, mod):
+        clusters = cluster_trips(mod, epsilon_meters=8000.0)
+        trips = {t["mmsi"]: t["trip_id"] for t in mod.all_trips()}
+        matching = [
+            cluster
+            for cluster in clusters
+            if trips[1] in cluster and trips[2] in cluster
+        ]
+        assert len(matching) == 1
+
+    def test_temporal_dimension_separates(self, mod):
+        # Spatially identical but 12 h apart: different clusters.
+        clusters = cluster_trips(mod, epsilon_meters=8000.0)
+        trips = {t["mmsi"]: t["trip_id"] for t in mod.all_trips()}
+        for cluster in clusters:
+            assert not (trips[1] in cluster and trips[3] in cluster)
+
+    def test_spatial_dimension_separates(self, mod):
+        clusters = cluster_trips(mod, epsilon_meters=8000.0)
+        trips = {t["mmsi"]: t["trip_id"] for t in mod.all_trips()}
+        for cluster in clusters:
+            assert not (trips[1] in cluster and trips[4] in cluster)
+
+    def test_min_points_drops_noise(self, mod):
+        clusters = cluster_trips(mod, epsilon_meters=8000.0, min_points=2)
+        assert all(len(cluster) >= 2 for cluster in clusters)
+
+    def test_distance_function_components(self, mod):
+        trips = mod.all_trips()
+        trip_1 = next(t for t in trips if t["mmsi"] == 1)
+        trip_3 = next(t for t in trips if t["mmsi"] == 3)
+        # 43,200 s apart at 1 km/h-scale -> 12,000 m temporal penalty.
+        distance = spatiotemporal_distance(mod, trip_1, trip_3)
+        assert distance >= 12_000.0

@@ -1,0 +1,115 @@
+"""Tests for spatiotemporal queries over the archive."""
+
+import pytest
+
+from repro.geo.polygon import BoundingBox, GeoPolygon
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.queries import nearest_neighbors, range_query, trajectory_similarity
+from repro.simulator.world import Port
+from repro.tracking.types import CriticalPoint, MovementEventType
+
+PORT_A = Port("alpha", 23.0, 38.0, GeoPolygon.rectangle("pa", 23.0, 38.0, 3000, 3000))
+PORT_B = Port("beta", 24.0, 38.0, GeoPolygon.rectangle("pb", 24.0, 38.0, 3000, 3000))
+
+
+def stop_at(port, timestamp, mmsi=1):
+    return CriticalPoint(
+        mmsi=mmsi, lon=port.lon, lat=port.lat, timestamp=timestamp,
+        annotations=frozenset({MovementEventType.STOP_END}),
+    )
+
+
+def waypoint(lon, lat, timestamp, mmsi=1):
+    return CriticalPoint(
+        mmsi=mmsi, lon=lon, lat=lat, timestamp=timestamp,
+        annotations=frozenset({MovementEventType.TURN}),
+    )
+
+
+@pytest.fixture()
+def mod():
+    with MovingObjectDatabase([PORT_A, PORT_B]) as database:
+        # Vessel 1: alpha -> beta along 38.0N.
+        database.stage_points([
+            stop_at(PORT_A, 0),
+            waypoint(23.3, 38.0, 1000),
+            waypoint(23.6, 38.0, 2000),
+            stop_at(PORT_B, 3000),
+        ])
+        # Vessel 2: same route, shifted north and later.
+        database.stage_points([
+            stop_at(PORT_A, 5000, mmsi=2),
+            waypoint(23.3, 38.2, 6000, mmsi=2),
+            waypoint(23.6, 38.2, 7000, mmsi=2),
+            stop_at(PORT_B, 8000, mmsi=2),
+        ])
+        database.reconstruct()
+        yield database
+
+
+class TestRangeQuery:
+    def test_box_and_time_filter(self, mod):
+        box = BoundingBox(23.2, 37.9, 23.7, 38.1)
+        hits = range_query(mod, box, 0, 4000)
+        assert {h.mmsi for h in hits} == {1}
+        assert all(23.2 <= h.lon <= 23.7 for h in hits)
+
+    def test_time_window_excludes(self, mod):
+        box = BoundingBox(22.0, 37.0, 25.0, 39.0)
+        hits = range_query(mod, box, 0, 4000)
+        assert {h.mmsi for h in hits} == {1}
+        hits = range_query(mod, box, 0, 9000)
+        assert {h.mmsi for h in hits} == {1, 2}
+
+    def test_empty_result(self, mod):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert range_query(mod, box, 0, 10_000) == []
+
+    def test_ordered_by_time(self, mod):
+        box = BoundingBox(22.0, 37.0, 25.0, 39.0)
+        hits = range_query(mod, box, 0, 9000)
+        times = [h.timestamp for h in hits]
+        assert times == sorted(times)
+
+
+class TestNearestNeighbors:
+    def test_nearest_at_time(self, mod):
+        # At t=1000 vessel 1 is at (23.3, 38.0); vessel 2 not yet moving.
+        result = nearest_neighbors(mod, 23.3, 38.0, 1000, k=1)
+        assert result[0][0] == 1
+        assert result[0][1] < 1000.0
+
+    def test_k_limits_results(self, mod):
+        result = nearest_neighbors(mod, 23.3, 38.1, 6500, k=2, time_tolerance=9000)
+        assert len(result) == 2
+        # Sorted by distance.
+        assert result[0][1] <= result[1][1]
+
+    def test_time_tolerance_filters(self, mod):
+        result = nearest_neighbors(mod, 23.3, 38.0, 50_000, k=5, time_tolerance=100)
+        assert result == []
+
+    def test_invalid_k(self, mod):
+        with pytest.raises(ValueError, match="k must be"):
+            nearest_neighbors(mod, 23.3, 38.0, 1000, k=0)
+
+
+class TestTrajectorySimilarity:
+    def test_parallel_routes_close(self, mod):
+        trips = mod.all_trips()
+        trip_a = next(t for t in trips if t["mmsi"] == 1)
+        trip_b = next(t for t in trips if t["mmsi"] == 2)
+        similarity = trajectory_similarity(mod, trip_a["trip_id"], trip_b["trip_id"])
+        # ~0.2 degrees of latitude apart: ~22 km mean deviation.
+        assert similarity == pytest.approx(20_000, rel=0.3)
+
+    def test_self_similarity_zero(self, mod):
+        trip = mod.all_trips()[0]
+        assert trajectory_similarity(mod, trip["trip_id"], trip["trip_id"]) == (
+            pytest.approx(0.0, abs=1.0)
+        )
+
+    def test_invalid_samples(self, mod):
+        trip = mod.all_trips()[0]
+        with pytest.raises(ValueError, match="samples"):
+            trajectory_similarity(mod, trip["trip_id"], trip["trip_id"], samples=1)

@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` CLI demo."""
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.vessels == 50
+        assert args.hours == 6.0
+        assert not args.spatial_facts
+
+    def test_custom_arguments(self):
+        args = build_parser().parse_args(
+            ["--vessels", "10", "--hours", "2", "--spatial-facts"]
+        )
+        assert args.vessels == 10
+        assert args.hours == 2.0
+        assert args.spatial_facts
+
+
+class TestMain:
+    def test_small_run(self, capsys, tmp_path):
+        kml_path = tmp_path / "out.kml"
+        exit_code = main(
+            [
+                "--vessels", "6",
+                "--hours", "1",
+                "--slide-minutes", "15",
+                "--window-hours", "1",
+                "--kml", str(kml_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "compression:" in output
+        assert "Number of trips between ports" in output
+        assert kml_path.exists()
+        assert "<kml" in kml_path.read_text()

@@ -1,0 +1,49 @@
+"""Tests for the per-slide instrumentation."""
+
+import pytest
+
+from repro.pipeline.metrics import PHASES, PhaseTimings, SlideReport
+
+
+class TestPhaseTimings:
+    def test_accumulate_and_average(self):
+        timings = PhaseTimings()
+        timings.record({"tracking": 0.2, "staging": 0.1})
+        timings.record({"tracking": 0.4, "staging": 0.1})
+        assert timings.slides == 2
+        assert timings.average("tracking") == pytest.approx(0.3)
+        assert timings.average("staging") == pytest.approx(0.1)
+
+    def test_average_before_any_slide(self):
+        assert PhaseTimings().average("tracking") == 0.0
+
+    def test_missing_phase_zero(self):
+        timings = PhaseTimings()
+        timings.record({"tracking": 0.2})
+        assert timings.average("recognition") == 0.0
+
+    def test_averages_dict(self):
+        timings = PhaseTimings()
+        timings.record({"tracking": 0.5, "recognition": 0.1})
+        averages = timings.averages()
+        assert set(averages) == {"tracking", "recognition"}
+
+    def test_phase_order_constant(self):
+        assert PHASES == (
+            "tracking", "staging", "reconstruction", "loading", "recognition"
+        )
+
+
+class TestSlideReport:
+    def test_total_seconds(self):
+        report = SlideReport(
+            query_time=100,
+            raw_positions=10,
+            movement_events=3,
+            fresh_critical_points=2,
+            expired_critical_points=1,
+            recognized_complex_events=0,
+            alerts=(),
+            timings={"tracking": 0.2, "recognition": 0.3},
+        )
+        assert report.total_seconds == pytest.approx(0.5)

@@ -1,0 +1,56 @@
+"""Tests for the staging area."""
+
+from repro.reconstruct.staging import StagingArea
+from repro.tracking.types import CriticalPoint, MovementEventType
+
+
+def make_point(mmsi, timestamp):
+    return CriticalPoint(
+        mmsi=mmsi,
+        lon=24.0,
+        lat=38.0,
+        timestamp=timestamp,
+        annotations=frozenset({MovementEventType.TURN}),
+    )
+
+
+class TestStaging:
+    def test_stage_and_count(self):
+        staging = StagingArea()
+        assert staging.stage([make_point(1, 10), make_point(2, 20)]) == 2
+        assert staging.pending_count() == 2
+        assert sorted(staging.vessels()) == [1, 2]
+
+    def test_peek_is_ordered_and_non_destructive(self):
+        staging = StagingArea()
+        staging.stage([make_point(1, 30), make_point(1, 10)])
+        peeked = staging.peek(1)
+        assert [p.timestamp for p in peeked] == [10, 30]
+        assert staging.pending_count() == 2
+
+    def test_drain_single_vessel(self):
+        staging = StagingArea()
+        staging.stage([make_point(1, 10), make_point(2, 20)])
+        drained = staging.drain(1)
+        assert list(drained) == [1]
+        assert staging.pending_count() == 1
+        assert staging.total_drained == 1
+
+    def test_drain_all(self):
+        staging = StagingArea()
+        staging.stage([make_point(1, 10), make_point(2, 20)])
+        drained = staging.drain()
+        assert sorted(drained) == [1, 2]
+        assert staging.pending_count() == 0
+
+    def test_drain_unknown_vessel(self):
+        staging = StagingArea()
+        assert staging.drain(99) == {}
+
+    def test_counters(self):
+        staging = StagingArea()
+        staging.stage([make_point(1, 10)])
+        staging.stage([make_point(1, 20)])
+        staging.drain()
+        assert staging.total_staged == 2
+        assert staging.total_drained == 2

@@ -1,0 +1,133 @@
+"""Property-based tests: the engine versus an independent oracle.
+
+A brute-force reference implementation recomputes ``holdsAt`` for a boolean
+fluent directly from the paper's definition — F=V holds at T iff some
+initiation occurred strictly before T with no break in between (rules
+(1)-(2)) — and random event streams are checked point-for-point against the
+engine's maximal intervals.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rtec.engine import RTEC
+from repro.rtec.intervals import holds_at
+from repro.rtec.rules import EventPattern, HappensAt, initiated, terminated
+from repro.rtec.terms import Var
+
+V = Var("Vessel")
+
+RULES = [
+    initiated("f", (V,), True, [HappensAt(EventPattern("init", (V,)))]),
+    terminated("f", (V,), True, [HappensAt(EventPattern("term", (V,)))]),
+]
+
+event_streams = st.lists(
+    st.tuples(
+        st.sampled_from(["init", "term"]),
+        st.sampled_from(["v1", "v2"]),
+        st.integers(min_value=1, max_value=300),
+    ),
+    max_size=40,
+)
+
+
+def oracle_holds_at(events, vessel, probe):
+    """Brute-force paper semantics for a boolean fluent."""
+    inits = sorted(t for kind, v, t in events if kind == "init" and v == vessel)
+    terms = sorted(t for kind, v, t in events if kind == "term" and v == vessel)
+    for ts in inits:
+        if ts >= probe:
+            continue
+        # Broken iff some termination Tf with ts < Tf < probe... note the
+        # closed right end: F holds at Tf itself, so the break must be
+        # strictly before the probe.
+        broken = any(ts < tf < probe for tf in terms)
+        if not broken:
+            return True
+    return False
+
+
+class TestEngineAgainstOracle:
+    @settings(max_examples=150, deadline=None)
+    @given(events=event_streams, probe=st.integers(min_value=1, max_value=301))
+    def test_holds_at_matches_oracle(self, events, probe):
+        engine = RTEC(window_seconds=1000)
+        engine.declare_rules(RULES)
+        for kind, vessel, time in events:
+            engine.working_memory.assert_event(kind, (vessel,), time)
+        result = engine.step(400)
+        for vessel in ("v1", "v2"):
+            expected = oracle_holds_at(events, vessel, probe)
+            actual = result.holds_at("f", (vessel,), probe)
+            assert actual == expected, (
+                f"vessel={vessel} probe={probe} events={sorted(events, key=lambda e: e[2])}"
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(events=event_streams)
+    def test_intervals_are_maximal_and_disjoint(self, events):
+        engine = RTEC(window_seconds=1000)
+        engine.declare_rules(RULES)
+        for kind, vessel, time in events:
+            engine.working_memory.assert_event(kind, (vessel,), time)
+        result = engine.step(400)
+        for vessel in ("v1", "v2"):
+            intervals = result.intervals("f", (vessel,))
+            for (ts1, tf1), (ts2, tf2) in zip(intervals, intervals[1:]):
+                assert tf1 < ts2, "intervals must be disjoint and ordered"
+
+    @settings(max_examples=100, deadline=None)
+    @given(events=event_streams)
+    def test_step_is_idempotent(self, events):
+        # Re-running recognition at the same query time with unchanged
+        # working memory yields identical results.
+        engine = RTEC(window_seconds=1000)
+        engine.declare_rules(RULES)
+        for kind, vessel, time in events:
+            engine.working_memory.assert_event(kind, (vessel,), time)
+        first = engine.step(400)
+        second = engine.step(400)
+        assert first.fluents == second.fluents
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        events=event_streams,
+        split=st.integers(min_value=50, max_value=250),
+    )
+    def test_incremental_equals_batch_for_large_window(self, events, split):
+        # With a window covering all of history, asserting events in two
+        # rounds (split by occurrence time) and stepping twice must agree
+        # with asserting everything and stepping once.
+        batch = RTEC(window_seconds=10_000)
+        batch.declare_rules(RULES)
+        for kind, vessel, time in events:
+            batch.working_memory.assert_event(kind, (vessel,), time)
+        expected = batch.step(400)
+
+        staged = RTEC(window_seconds=10_000)
+        staged.declare_rules(RULES)
+        for kind, vessel, time in events:
+            if time <= split:
+                staged.working_memory.assert_event(kind, (vessel,), time)
+        staged.step(split)
+        for kind, vessel, time in events:
+            if time > split:
+                staged.working_memory.assert_event(kind, (vessel,), time)
+        actual = staged.step(400)
+        assert actual.fluents == expected.fluents
+
+    @settings(max_examples=80, deadline=None)
+    @given(events=event_streams)
+    def test_holds_at_consistent_with_intervals(self, events):
+        # holdsAt(F=V, T) iff T in some maximal interval — the paper's
+        # defining equivalence between holdsAt and holdsFor.
+        engine = RTEC(window_seconds=1000)
+        engine.declare_rules(RULES)
+        for kind, vessel, time in events:
+            engine.working_memory.assert_event(kind, (vessel,), time)
+        result = engine.step(400)
+        intervals = result.intervals("f", ("v1",))
+        for probe in range(0, 401, 13):
+            assert result.holds_at("f", ("v1",), probe) == holds_at(
+                intervals, probe
+            )

@@ -1,0 +1,180 @@
+"""Unit and property tests for the maximal-interval algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtec.intervals import (
+    OPEN,
+    clip_intervals,
+    end_points,
+    holds_at,
+    intersect_intervals,
+    intervals_from_points,
+    normalize,
+    start_points,
+    subtract_intervals,
+    total_duration,
+    union_intervals,
+)
+
+point_lists = st.lists(st.integers(min_value=0, max_value=200), max_size=15)
+
+
+class TestIntervalsFromPoints:
+    def test_paper_example(self):
+        # "Suppose that F=V is initiated at 10 and 20 and terminated at 25
+        # and 30.  In that case F=V holds at all T such that 10 < T <= 25."
+        intervals = intervals_from_points([10, 20], [25, 30])
+        assert intervals == [(10, 25)]
+
+    def test_open_interval_without_termination(self):
+        assert intervals_from_points([10], []) == [(10, OPEN)]
+
+    def test_no_initiation_no_interval(self):
+        assert intervals_from_points([], [5, 10]) == []
+
+    def test_termination_before_initiation_ignored(self):
+        assert intervals_from_points([10], [5]) == [(10, OPEN)]
+
+    def test_termination_at_initiation_does_not_break(self):
+        # broken requires Ts < Tf: termination exactly at Ts has no effect.
+        assert intervals_from_points([10], [10]) == [(10, OPEN)]
+
+    def test_two_disjoint_intervals(self):
+        intervals = intervals_from_points([10, 30], [20, 40])
+        assert intervals == [(10, 20), (30, 40)]
+
+    def test_reinitiation_inside_interval_absorbed(self):
+        intervals = intervals_from_points([10, 12, 14], [30])
+        assert intervals == [(10, 30)]
+
+    def test_duplicate_points_deduplicated(self):
+        intervals = intervals_from_points([10, 10, 10], [20, 20])
+        assert intervals == [(10, 20)]
+
+    @given(inits=point_lists, terms=point_lists)
+    def test_intervals_sorted_and_disjoint(self, inits, terms):
+        intervals = intervals_from_points(inits, terms)
+        for (ts1, tf1), (ts2, tf2) in zip(intervals, intervals[1:]):
+            assert ts1 < ts2
+            assert tf1 != OPEN and tf1 < ts2  # disjoint, non-adjacent
+
+    @given(inits=point_lists, terms=point_lists)
+    def test_every_initiation_covered_or_absorbed(self, inits, terms):
+        intervals = intervals_from_points(inits, terms)
+        if inits:
+            # The value holds right after the earliest initiation.
+            first = min(inits)
+            assert holds_at(intervals, first + 1) or any(
+                ts == first and tf == first + 1 for ts, tf in intervals
+            ) or (first + 1) in set(terms) or holds_at(intervals, first + 1)
+
+    @given(inits=point_lists, terms=point_lists,
+           probe=st.integers(min_value=0, max_value=201))
+    def test_holds_iff_after_init_before_break(self, inits, terms, probe):
+        intervals = intervals_from_points(inits, terms)
+        if holds_at(intervals, probe):
+            # Some initiation lies strictly before the probe...
+            assert any(ts < probe for ts in inits)
+
+
+class TestHoldsAt:
+    def test_open_left_endpoint(self):
+        intervals = [(10, 20)]
+        assert not holds_at(intervals, 10)
+        assert holds_at(intervals, 11)
+
+    def test_closed_right_endpoint(self):
+        intervals = [(10, 20)]
+        assert holds_at(intervals, 20)
+        assert not holds_at(intervals, 21)
+
+    def test_open_interval_extends_forever(self):
+        assert holds_at([(10, OPEN)], 10**9)
+
+    def test_between_intervals(self):
+        intervals = [(10, 20), (30, 40)]
+        assert not holds_at(intervals, 25)
+
+    def test_empty(self):
+        assert not holds_at([], 5)
+
+
+class TestNormalize:
+    def test_merges_overlapping(self):
+        assert normalize([(10, 30), (20, 40)]) == [(10, 40)]
+
+    def test_merges_adjacent(self):
+        # (10,20] and (20,30] union to (10,30] under half-open semantics.
+        assert normalize([(10, 20), (20, 30)]) == [(10, 30)]
+
+    def test_drops_empty(self):
+        assert normalize([(10, 10), (20, 19)]) == []
+
+    def test_sorts(self):
+        assert normalize([(30, 40), (10, 20)]) == [(10, 20), (30, 40)]
+
+    def test_open_interval_swallows_rest(self):
+        assert normalize([(10, OPEN), (20, 30)]) == [(10, OPEN)]
+
+
+class TestSetOperations:
+    def test_union(self):
+        assert union_intervals([(10, 20)], [(15, 30)]) == [(10, 30)]
+
+    def test_intersection(self):
+        assert intersect_intervals([(10, 30)], [(20, 40)]) == [(20, 30)]
+
+    def test_intersection_disjoint(self):
+        assert intersect_intervals([(10, 20)], [(30, 40)]) == []
+
+    def test_intersection_with_open(self):
+        assert intersect_intervals([(10, OPEN)], [(20, 40)]) == [(20, 40)]
+
+    def test_subtract_middle(self):
+        assert subtract_intervals([(10, 40)], [(20, 30)]) == [(10, 20), (30, 40)]
+
+    def test_subtract_everything(self):
+        assert subtract_intervals([(10, 20)], [(0, 100)]) == []
+
+    def test_subtract_open_tail(self):
+        assert subtract_intervals([(10, OPEN)], [(20, OPEN)]) == [(10, 20)]
+
+    @given(a=point_lists, b=point_lists)
+    def test_union_commutes(self, a, b):
+        ia = intervals_from_points(a, [])
+        ib = intervals_from_points(b, [])
+        assert union_intervals(ia, ib) == union_intervals(ib, ia)
+
+    @given(inits=point_lists, terms=point_lists,
+           probe=st.integers(min_value=0, max_value=220))
+    def test_subtract_complement_never_holds(self, inits, terms, probe):
+        base = intervals_from_points(inits, terms)
+        removed = intervals_from_points(terms, [])
+        difference = subtract_intervals(base, removed)
+        if holds_at(difference, probe):
+            assert holds_at(base, probe)
+            assert not holds_at(removed, probe)
+
+
+class TestClipAndPoints:
+    def test_clip_to_window(self):
+        intervals = [(0, 50), (80, 120), (150, OPEN)]
+        assert clip_intervals(intervals, 60, 100) == [(80, 100), (150, OPEN)]
+
+    def test_clip_preserves_open_right(self):
+        assert clip_intervals([(10, OPEN)], 0, 100) == [(10, OPEN)]
+
+    def test_start_points(self):
+        assert start_points([(10, 20), (30, OPEN)]) == [10, 30]
+
+    def test_end_points_skip_open(self):
+        assert end_points([(10, 20), (30, OPEN)]) == [20]
+
+    def test_total_duration(self):
+        assert total_duration([(10, 20), (30, 50)]) == 30
+
+    def test_total_duration_open_needs_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            total_duration([(10, OPEN)])
+        assert total_duration([(10, OPEN)], horizon=100) == 90

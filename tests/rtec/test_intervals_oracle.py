@@ -1,0 +1,53 @@
+"""Brute-force oracle for maximal-interval composition.
+
+Targets :func:`intervals_from_points` directly (the engine-level oracle in
+``test_engine_properties`` exercises it indirectly): for random initiation
+and termination point sets, every timepoint's membership must match the
+paper's definition — F=V holds at T iff some initiation Ts < T exists with
+no break Tf (a termination strictly after Ts) in (Ts, T).
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.rtec.intervals import holds_at, intervals_from_points
+
+points = st.lists(st.integers(min_value=0, max_value=60), max_size=12)
+
+
+def oracle(inits, terms, probe):
+    """Direct transcription of rules (1)-(2) for a single value."""
+    for ts in inits:
+        if ts < probe and not any(ts < tf < probe for tf in terms):
+            return True
+    return False
+
+
+@given(inits=points, terms=points, probe=st.integers(min_value=0, max_value=61))
+def test_membership_matches_oracle(inits, terms, probe):
+    intervals = intervals_from_points(inits, terms)
+    assert holds_at(intervals, probe) == oracle(inits, terms, probe), (
+        inits,
+        terms,
+        probe,
+        intervals,
+    )
+
+
+@given(inits=points, terms=points)
+def test_every_timepoint_checked(inits, terms):
+    intervals = intervals_from_points(inits, terms)
+    for probe in range(0, 62):
+        assert holds_at(intervals, probe) == oracle(inits, terms, probe)
+
+
+@given(inits=points, terms=points)
+def test_regression_simultaneous_init_and_term(inits, terms):
+    # The fixed edge case: initiation coinciding with a termination point
+    # continues the value (rule (1) requires Ts < Tf).
+    intervals = intervals_from_points([1, 2], [2])
+    assert holds_at(intervals, 3)
+    assert holds_at(intervals, 2)
+    # And the generated inputs keep the normal form regardless.
+    generated = intervals_from_points(inits, terms)
+    for (ts1, tf1), (ts2, _) in zip(generated, generated[1:]):
+        assert tf1 < ts2

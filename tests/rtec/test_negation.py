@@ -1,0 +1,191 @@
+"""Tests for negation-as-failure literals."""
+
+import pytest
+
+from repro.rtec.engine import RTEC
+from repro.rtec.intervals import OPEN
+from repro.rtec.rules import (
+    End,
+    EventPattern,
+    HappensAt,
+    NotHappensAt,
+    NotHoldsAt,
+    Start,
+    happens_head,
+    initiated,
+    terminated,
+)
+from repro.rtec.terms import Var
+
+V = Var("Vessel")
+
+STOPPED_RULES = [
+    initiated("stopped", (V,), True, [HappensAt(EventPattern("stop_start", (V,)))]),
+    terminated("stopped", (V,), True, [HappensAt(EventPattern("stop_end", (V,)))]),
+]
+
+
+def make_engine(rules, window=1000):
+    engine = RTEC(window_seconds=window)
+    engine.declare_rules(rules)
+    return engine
+
+
+class TestNotHappensAt:
+    RULES = [
+        happens_head(
+            "silent_ping", (V,),
+            [
+                HappensAt(EventPattern("ping", (V,))),
+                NotHappensAt(EventPattern("ack", (V,))),
+            ],
+        )
+    ]
+
+    def test_succeeds_without_counter_event(self):
+        engine = make_engine(self.RULES)
+        engine.working_memory.assert_event("ping", ("v1",), 100)
+        result = engine.step(500)
+        assert result.occurrences("silent_ping") == [(("v1",), 100)]
+
+    def test_blocked_by_simultaneous_counter_event(self):
+        engine = make_engine(self.RULES)
+        engine.working_memory.assert_event("ping", ("v1",), 100)
+        engine.working_memory.assert_event("ack", ("v1",), 100)
+        result = engine.step(500)
+        assert result.occurrences("silent_ping") == []
+
+    def test_counter_event_at_other_time_is_irrelevant(self):
+        engine = make_engine(self.RULES)
+        engine.working_memory.assert_event("ping", ("v1",), 100)
+        engine.working_memory.assert_event("ack", ("v1",), 150)
+        result = engine.step(500)
+        assert result.occurrences("silent_ping") == [(("v1",), 100)]
+
+    def test_counter_event_for_other_vessel_is_irrelevant(self):
+        engine = make_engine(self.RULES)
+        engine.working_memory.assert_event("ping", ("v1",), 100)
+        engine.working_memory.assert_event("ack", ("v2",), 100)
+        result = engine.step(500)
+        assert result.occurrences("silent_ping") == [(("v1",), 100)]
+
+    def test_unbound_time_rejected(self):
+        rules = [
+            happens_head(
+                "bad", (V,),
+                [
+                    HappensAt(EventPattern("ping", (V,))),
+                    NotHappensAt(EventPattern("ack", (V,)), time_variable="T2"),
+                ],
+            )
+        ]
+        engine = make_engine(rules)
+        engine.working_memory.assert_event("ping", ("v1",), 100)
+        with pytest.raises(ValueError, match="unbound time"):
+            engine.step(500)
+
+    def test_negated_start_event(self):
+        rules = STOPPED_RULES + [
+            happens_head(
+                "lonely_gap", (V,),
+                [
+                    HappensAt(EventPattern("gap", (V,))),
+                    NotHappensAt(Start("stopped", (V,), True)),
+                ],
+            )
+        ]
+        engine = make_engine(rules)
+        engine.working_memory.assert_event("gap", ("v1",), 100)
+        engine.working_memory.assert_event("gap", ("v2",), 200)
+        engine.working_memory.assert_event("stop_start", ("v2",), 200)
+        result = engine.step(500)
+        assert result.occurrences("lonely_gap") == [(("v1",), 100)]
+
+
+class TestNotHoldsAt:
+    RULES = STOPPED_RULES + [
+        happens_head(
+            "moving_ping", (V,),
+            [
+                HappensAt(EventPattern("ping", (V,))),
+                NotHoldsAt("stopped", (V,), True),
+            ],
+        )
+    ]
+
+    def test_succeeds_when_fluent_absent(self):
+        engine = make_engine(self.RULES)
+        engine.working_memory.assert_event("ping", ("v1",), 100)
+        result = engine.step(500)
+        assert result.occurrences("moving_ping") == [(("v1",), 100)]
+
+    def test_blocked_while_fluent_holds(self):
+        engine = make_engine(self.RULES)
+        engine.working_memory.assert_event("stop_start", ("v1",), 50)
+        engine.working_memory.assert_event("ping", ("v1",), 100)
+        result = engine.step(500)
+        assert result.occurrences("moving_ping") == []
+
+    def test_succeeds_after_fluent_terminated(self):
+        engine = make_engine(self.RULES)
+        engine.working_memory.assert_event("stop_start", ("v1",), 50)
+        engine.working_memory.assert_event("stop_end", ("v1",), 80)
+        engine.working_memory.assert_event("ping", ("v1",), 100)
+        result = engine.step(500)
+        assert result.occurrences("moving_ping") == [(("v1",), 100)]
+
+    def test_negation_in_fluent_definition(self):
+        # unattended(V): initiated by an alarm while not stopped.
+        rules = STOPPED_RULES + [
+            initiated(
+                "unattended", (V,), True,
+                [
+                    HappensAt(EventPattern("alarm", (V,))),
+                    NotHoldsAt("stopped", (V,), True),
+                ],
+            )
+        ]
+        engine = make_engine(rules)
+        engine.working_memory.assert_event("alarm", ("v1",), 100)
+        engine.working_memory.assert_event("stop_start", ("v2",), 50)
+        engine.working_memory.assert_event("alarm", ("v2",), 100)
+        result = engine.step(500)
+        assert result.intervals("unattended", ("v1",)) == [(100, OPEN)]
+        assert result.intervals("unattended", ("v2",)) == []
+
+    def test_stratification_covers_negated_fluents(self):
+        # A negated dependency still forces evaluation order; a cycle
+        # through negation is rejected like any other cycle.
+        rules = [
+            initiated("a", (V,), True,
+                      [HappensAt(EventPattern("e", (V,))),
+                       NotHoldsAt("b", (V,), True)]),
+            initiated("b", (V,), True,
+                      [HappensAt(EventPattern("e", (V,))),
+                       NotHoldsAt("a", (V,), True)]),
+        ]
+        engine = make_engine(rules)
+        engine.working_memory.assert_event("e", ("v1",), 10)
+        with pytest.raises(ValueError, match="cyclic"):
+            engine.step(100)
+
+
+class TestNegatedEnd:
+    def test_negated_end_event(self):
+        rules = STOPPED_RULES + [
+            happens_head(
+                "still_stopped_probe", (V,),
+                [
+                    HappensAt(EventPattern("probe", (V,))),
+                    NotHappensAt(End("stopped", (V,), True)),
+                ],
+            )
+        ]
+        engine = make_engine(rules)
+        engine.working_memory.assert_event("stop_start", ("v1",), 50)
+        engine.working_memory.assert_event("stop_end", ("v1",), 100)
+        engine.working_memory.assert_event("probe", ("v1",), 100)
+        engine.working_memory.assert_event("probe", ("v1",), 200)
+        result = engine.step(500)
+        # The probe coinciding with the stop's end is blocked.
+        assert result.occurrences("still_stopped_probe") == [(("v1",), 200)]

@@ -1,0 +1,82 @@
+"""Out-of-order / delayed event handling: the Figure 5 semantics.
+
+"When the range omega is longer than the slide step beta, it is possible
+that an ME occurs in the interval (Qi - omega, Qi-1] but arrives at RTEC
+only after Qi-1; its effects are taken into account at query time Qi."
+"""
+
+from repro.rtec.engine import RTEC
+from repro.rtec.intervals import OPEN
+from repro.rtec.rules import EventPattern, HappensAt, initiated, terminated
+from repro.rtec.terms import Var
+
+V = Var("Vessel")
+
+RULES = [
+    initiated("stopped", (V,), True, [HappensAt(EventPattern("stop_start", (V,)))]),
+    terminated("stopped", (V,), True, [HappensAt(EventPattern("stop_end", (V,)))]),
+]
+
+
+def make_engine(window=200):
+    engine = RTEC(window_seconds=window)
+    engine.declare_rules(RULES)
+    return engine
+
+
+class TestDelayedEvents:
+    def test_delayed_event_recovered_at_next_query(self):
+        engine = make_engine(window=200)
+        # The event occurs at t=90 but arrives after Q1=100.
+        engine.working_memory.assert_event("stop_start", ("v1",), 90, arrival=150)
+        result_q1 = engine.step(100)
+        assert result_q1.intervals("stopped", ("v1",)) == []
+        # At Q2=200 the event has arrived and t=90 is still in (0, 200].
+        result_q2 = engine.step(200)
+        assert result_q2.intervals("stopped", ("v1",)) == [(90, OPEN)]
+
+    def test_event_too_old_at_arrival_is_lost(self):
+        engine = make_engine(window=100)
+        # Occurs at t=50, arrives at t=250; at Q=300 the window is (200, 300].
+        engine.working_memory.assert_event("stop_start", ("v1",), 50, arrival=250)
+        result = engine.step(300)
+        assert result.intervals("stopped", ("v1",)) == []
+
+    def test_delayed_termination_closes_interval_retroactively(self):
+        engine = make_engine(window=400)
+        engine.working_memory.assert_event("stop_start", ("v1",), 100)
+        result = engine.step(200)
+        assert result.intervals("stopped", ("v1",)) == [(100, OPEN)]
+        # The stop actually ended at t=150, but the ME arrives late.
+        engine.working_memory.assert_event("stop_end", ("v1",), 150, arrival=250)
+        result = engine.step(300)
+        assert result.intervals("stopped", ("v1",)) == [(100, 150)]
+
+    def test_interleaved_delays_multiple_vessels(self):
+        engine = make_engine(window=400)
+        engine.working_memory.assert_event("stop_start", ("v1",), 100, arrival=180)
+        engine.working_memory.assert_event("stop_start", ("v2",), 120)
+        engine.working_memory.assert_event("stop_end", ("v2",), 160, arrival=320)
+        result_q1 = engine.step(150)
+        # v1's delayed start invisible; v2 stopped and (apparently) ongoing.
+        assert result_q1.intervals("stopped", ("v1",)) == []
+        assert result_q1.intervals("stopped", ("v2",)) == [(120, OPEN)]
+        result_q2 = engine.step(350)
+        assert result_q2.intervals("stopped", ("v1",)) == [(100, OPEN)]
+        assert result_q2.intervals("stopped", ("v2",)) == [(120, 160)]
+
+    def test_same_result_as_in_order_delivery(self):
+        # Delayed delivery converges to the in-order recognition result
+        # once everything has arrived within the window.
+        in_order = make_engine(window=1000)
+        in_order.working_memory.assert_event("stop_start", ("v1",), 100)
+        in_order.working_memory.assert_event("stop_end", ("v1",), 300)
+        in_order.working_memory.assert_event("stop_start", ("v1",), 500)
+        expected = in_order.step(900).intervals("stopped", ("v1",))
+
+        delayed = make_engine(window=1000)
+        delayed.working_memory.assert_event("stop_end", ("v1",), 300, arrival=600)
+        delayed.working_memory.assert_event("stop_start", ("v1",), 500, arrival=550)
+        delayed.working_memory.assert_event("stop_start", ("v1",), 100, arrival=520)
+        delayed.step(510)  # intermediate query with partial knowledge
+        assert delayed.step(900).intervals("stopped", ("v1",)) == expected

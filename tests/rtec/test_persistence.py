@@ -1,0 +1,88 @@
+"""Inertia across window slides: open intervals must outlive the window.
+
+A vessel stopped for six hours stays ``stopped`` even after its
+``stop_start`` ME has been forgotten by the working memory — the law of
+inertia, not the window, governs fluent persistence.
+"""
+
+from repro.rtec.engine import RTEC
+from repro.rtec.intervals import OPEN
+from repro.rtec.rules import (
+    EventPattern,
+    HappensAt,
+    Start,
+    happens_head,
+    initiated,
+    terminated,
+)
+from repro.rtec.terms import Var
+
+V = Var("Vessel")
+
+RULES = [
+    initiated("stopped", (V,), True, [HappensAt(EventPattern("stop_start", (V,)))]),
+    terminated("stopped", (V,), True, [HappensAt(EventPattern("stop_end", (V,)))]),
+]
+
+
+def make_engine(window=100):
+    engine = RTEC(window_seconds=window)
+    engine.declare_rules(RULES)
+    return engine
+
+
+class TestPersistence:
+    def test_open_interval_survives_window_slide(self):
+        engine = make_engine(window=100)
+        engine.working_memory.assert_event("stop_start", ("v1",), 50)
+        assert engine.step(100).intervals("stopped", ("v1",)) == [(50, OPEN)]
+        # At Q=300 the initiation event left the window long ago.
+        assert engine.step(300).intervals("stopped", ("v1",)) == [(50, OPEN)]
+
+    def test_persisted_interval_closed_by_later_termination(self):
+        engine = make_engine(window=100)
+        engine.working_memory.assert_event("stop_start", ("v1",), 50)
+        engine.step(100)
+        engine.working_memory.assert_event("stop_end", ("v1",), 250)
+        assert engine.step(300).intervals("stopped", ("v1",)) == [(50, 250)]
+        # Once closed, the interval is not resurrected at later steps.
+        assert engine.step(600).intervals("stopped", ("v1",)) == []
+
+    def test_closed_intervals_do_not_persist(self):
+        engine = make_engine(window=100)
+        engine.working_memory.assert_event("stop_start", ("v1",), 20)
+        engine.working_memory.assert_event("stop_end", ("v1",), 80)
+        assert engine.step(100).intervals("stopped", ("v1",)) == [(20, 80)]
+        assert engine.step(300).intervals("stopped", ("v1",)) == []
+
+    def test_reinitiation_of_persisted_interval_absorbed(self):
+        engine = make_engine(window=100)
+        engine.working_memory.assert_event("stop_start", ("v1",), 50)
+        engine.step(100)
+        # A second stop_start while still stopped: same maximal interval.
+        engine.working_memory.assert_event("stop_start", ("v1",), 150)
+        assert engine.step(200).intervals("stopped", ("v1",)) == [(50, OPEN)]
+
+    def test_start_event_not_refired_for_persisted_interval(self):
+        rules = RULES + [
+            happens_head(
+                "alarm", (V,), [HappensAt(Start("stopped", (V,), True))]
+            )
+        ]
+        engine = RTEC(window_seconds=100)
+        engine.declare_rules(rules)
+        engine.working_memory.assert_event("stop_start", ("v1",), 50)
+        assert engine.step(100).occurrences("alarm") == [(("v1",), 50)]
+        # The interval persists, but its start lies outside the new window:
+        # the alarm must not fire again.
+        assert engine.step(300).occurrences("alarm") == []
+
+    def test_multiple_vessels_persist_independently(self):
+        engine = make_engine(window=100)
+        engine.working_memory.assert_event("stop_start", ("v1",), 50)
+        engine.working_memory.assert_event("stop_start", ("v2",), 60)
+        engine.step(100)
+        engine.working_memory.assert_event("stop_end", ("v1",), 150)
+        result = engine.step(200)
+        assert result.intervals("stopped", ("v1",)) == [(50, 150)]
+        assert result.intervals("stopped", ("v2",)) == [(60, OPEN)]

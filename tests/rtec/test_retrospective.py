@@ -1,0 +1,63 @@
+"""Tests for retrospective recognition over asserted history."""
+
+import pytest
+
+from repro.rtec.engine import RTEC
+from repro.rtec.rules import EventPattern, HappensAt, initiated, terminated
+from repro.rtec.terms import Var
+
+V = Var("Vessel")
+
+RULES = [
+    initiated("stopped", (V,), True, [HappensAt(EventPattern("stop_start", (V,)))]),
+    terminated("stopped", (V,), True, [HappensAt(EventPattern("stop_end", (V,)))]),
+]
+
+
+def make_engine(window):
+    engine = RTEC(window_seconds=window)
+    engine.declare_rules(RULES)
+    return engine
+
+
+class TestRetrospective:
+    def test_replays_all_query_times(self):
+        engine = make_engine(window=600)
+        engine.working_memory.assert_event("stop_start", ("v1",), 100)
+        engine.working_memory.assert_event("stop_end", ("v1",), 700)
+        results = engine.run_retrospective(slide_seconds=300, until=1200)
+        assert [r.query_time for r in results] == [300, 600, 900, 1200]
+        # The stop is visible while open and closed once ended.
+        assert results[0].intervals("stopped", ("v1",))[0][0] == 100
+        assert results[2].intervals("stopped", ("v1",)) == [(100, 700)]
+
+    def test_matches_incremental_stepping(self):
+        history = [
+            ("stop_start", ("v1",), 100),
+            ("stop_end", ("v1",), 450),
+            ("stop_start", ("v2",), 500),
+        ]
+        retrospective = make_engine(window=600)
+        for functor, args, time in history:
+            retrospective.working_memory.assert_event(functor, args, time)
+        retro_results = retrospective.run_retrospective(300, 900)
+
+        incremental = make_engine(window=600)
+        incremental_results = []
+        for query_time in (300, 600, 900):
+            for functor, args, time in history:
+                if query_time - 300 < time <= query_time:
+                    incremental.working_memory.assert_event(functor, args, time)
+            incremental_results.append(incremental.step(query_time))
+
+        for retro, inc in zip(retro_results, incremental_results):
+            assert retro.fluents == inc.fluents
+
+    def test_invalid_slide(self):
+        with pytest.raises(ValueError, match="slide"):
+            make_engine(600).run_retrospective(0, 1000)
+
+    def test_empty_history(self):
+        results = make_engine(600).run_retrospective(300, 600)
+        assert len(results) == 2
+        assert all(r.complex_event_count() == 0 for r in results)

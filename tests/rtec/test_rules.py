@@ -1,0 +1,123 @@
+"""Tests for the rule language constructs."""
+
+import pytest
+
+from repro.rtec.rules import (
+    End,
+    EventPattern,
+    Guard,
+    HappensAt,
+    HoldsAt,
+    Rule,
+    Start,
+    StaticJoin,
+    fact_table,
+    happens_head,
+    initiated,
+    terminated,
+)
+from repro.rtec.terms import Var
+
+
+class TestRuleConstruction:
+    def test_initiated_builder(self):
+        rule = initiated(
+            "f", (Var("X"),), True, [HappensAt(EventPattern("e", (Var("X"),)))]
+        )
+        assert rule.head.fluent == "f"
+        assert rule.head.value is True
+
+    def test_terminated_builder(self):
+        rule = terminated(
+            "f", (Var("X"),), True, [HappensAt(EventPattern("e", (Var("X"),)))]
+        )
+        assert rule.head.fluent == "f"
+
+    def test_happens_head_builder(self):
+        rule = happens_head(
+            "ce", (Var("X"),), [HappensAt(EventPattern("e", (Var("X"),)))]
+        )
+        assert rule.head.event == "ce"
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError, match="at least one body literal"):
+            Rule(
+                head=initiated(
+                    "f", (), True, [HappensAt(EventPattern("e"))]
+                ).head,
+                body=(),
+            )
+
+    def test_first_literal_must_be_trigger(self):
+        with pytest.raises(ValueError, match="HappensAt trigger"):
+            initiated("f", (), True, [HoldsAt("g", (), True)])
+
+
+class TestReferencedSymbols:
+    def test_referenced_events(self):
+        rule = happens_head(
+            "ce",
+            (Var("X"),),
+            [
+                HappensAt(EventPattern("gap", (Var("X"),))),
+                HoldsAt("coord", (Var("X"),), Var("C")),
+            ],
+        )
+        assert rule.referenced_events() == {"gap"}
+        assert rule.referenced_fluents() == {"coord"}
+
+    def test_start_end_reference_fluents(self):
+        rule = initiated(
+            "f", (Var("X"),), True,
+            [HappensAt(Start("stopped", (Var("X"),), True))],
+        )
+        assert rule.referenced_fluents() == {"stopped"}
+        rule = initiated(
+            "f", (Var("X"),), True,
+            [HappensAt(End("stopped", (Var("X"),), True))],
+        )
+        assert rule.referenced_fluents() == {"stopped"}
+
+    def test_head_variables(self):
+        rule = initiated(
+            "f", (Var("A"), Var("B")), Var("V"),
+            [HappensAt(EventPattern("e", (Var("A"), Var("B"), Var("V"))))],
+        )
+        assert rule.head_variables() == {"A", "B", "V"}
+
+
+class TestStaticJoin:
+    def test_default_name_from_callable(self):
+        def close(lon, lat):
+            return []
+
+        literal = StaticJoin(close, inputs=("Lon", "Lat"), outputs=("Area",))
+        assert literal.name == "close"
+
+    def test_explicit_name(self):
+        literal = StaticJoin(lambda x: True, inputs=("X",), name="custom")
+        assert literal.name == "custom"
+
+
+class TestFactTable:
+    def test_full_row_lookup(self):
+        fishing = fact_table("fishing", [("v1",), ("v2",)])
+        assert fishing("v1") == [()]
+        assert fishing("v9") == []
+
+    def test_suffix_enumeration(self):
+        routes = fact_table("route", [("a", "b"), ("a", "c"), ("b", "c")])
+        assert routes("a") == [("b",), ("c",)]
+        assert routes() == [("a", "b"), ("a", "c"), ("b", "c")]
+
+    def test_named(self):
+        table = fact_table("myfacts", [])
+        assert table.__name__ == "myfacts"
+
+
+class TestGuard:
+    def test_guard_holds_callable_and_vars(self):
+        guard = Guard(lambda n: n > 3, ("N",))
+        assert guard.test(5)
+        assert not guard.test(2)
+        assert guard.variables == ("N",)

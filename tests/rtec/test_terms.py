@@ -1,0 +1,81 @@
+"""Tests for logical variables and unification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtec.terms import Var, bind, is_ground, pattern_variables, unify
+
+
+class TestUnify:
+    def test_constant_matches_itself(self):
+        assert unify("a", "a", {}) == {}
+
+    def test_constant_mismatch(self):
+        assert unify("a", "b", {}) is None
+
+    def test_fresh_variable_binds(self):
+        assert unify(Var("X"), 42, {}) == {"X": 42}
+
+    def test_bound_variable_must_agree(self):
+        assert unify(Var("X"), 42, {"X": 42}) == {"X": 42}
+        assert unify(Var("X"), 43, {"X": 42}) is None
+
+    def test_tuple_elementwise(self):
+        bindings = unify((Var("A"), Var("B")), (1, 2), {})
+        assert bindings == {"A": 1, "B": 2}
+
+    def test_tuple_arity_mismatch(self):
+        assert unify((Var("A"),), (1, 2), {}) is None
+
+    def test_tuple_vs_scalar(self):
+        assert unify((Var("A"),), 5, {}) is None
+
+    def test_nested_tuples(self):
+        bindings = unify((Var("V"), (Var("Lon"), Var("Lat"))),
+                         ("v1", (23.5, 37.9)), {})
+        assert bindings == {"V": "v1", "Lon": 23.5, "Lat": 37.9}
+
+    def test_repeated_variable_must_be_consistent(self):
+        assert unify((Var("X"), Var("X")), (1, 1), {}) == {"X": 1}
+        assert unify((Var("X"), Var("X")), (1, 2), {}) is None
+
+    def test_input_bindings_not_mutated(self):
+        original = {"Y": 9}
+        result = unify(Var("X"), 1, original)
+        assert result == {"Y": 9, "X": 1}
+        assert original == {"Y": 9}
+
+    def test_variable_binds_whole_tuple(self):
+        assert unify(Var("Coord"), (23.5, 37.9), {}) == {"Coord": (23.5, 37.9)}
+
+    @given(value=st.one_of(st.integers(), st.text(max_size=5), st.booleans()))
+    def test_fresh_variable_binds_any_value(self, value):
+        assert unify(Var("X"), value, {}) == {"X": value}
+
+
+class TestBind:
+    def test_substitutes_variables(self):
+        assert bind((Var("A"), "x", Var("B")), {"A": 1, "B": 2}) == (1, "x", 2)
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(KeyError):
+            bind(Var("Missing"), {})
+
+    def test_constants_pass_through(self):
+        assert bind("const", {}) == "const"
+        assert bind(42, {"X": 1}) == 42
+
+
+class TestInspection:
+    def test_is_ground(self):
+        assert is_ground(("a", 1, (2, 3)))
+        assert not is_ground((Var("X"),))
+        assert not is_ground(("a", (Var("Y"), 1)))
+
+    def test_pattern_variables(self):
+        pattern = (Var("A"), ("x", Var("B")), Var("A"))
+        assert pattern_variables(pattern) == {"A", "B"}
+        assert pattern_variables("const") == set()
+
+    def test_var_repr(self):
+        assert repr(Var("Vessel")) == "?Vessel"

@@ -1,0 +1,93 @@
+"""Engine tests for valued-fluent patterns: partial binding and tuples."""
+
+from repro.rtec.engine import RTEC
+from repro.rtec.rules import EventPattern, Guard, HappensAt, HoldsAt, happens_head
+from repro.rtec.terms import Var
+
+V = Var("Vessel")
+
+
+def make_engine(rules):
+    engine = RTEC(window_seconds=1000)
+    engine.declare_rules(rules)
+    return engine
+
+
+class TestValuedPatterns:
+    def test_partially_bound_tuple_value(self):
+        # coord value (Lon, Lat) with Lon pre-bound via the event args:
+        # only assignments agreeing on Lon unify.
+        rules = [
+            happens_head(
+                "match", (V,),
+                [
+                    HappensAt(EventPattern("probe", (V, Var("Lon")))),
+                    HoldsAt("coord", (V,), (Var("Lon"), Var("Lat"))),
+                ],
+            )
+        ]
+        engine = make_engine(rules)
+        engine.working_memory.assert_value("coord", ("v1",), (10.0, 20.0), 5)
+        engine.working_memory.assert_event("probe", ("v1", 10.0), 50)
+        engine.working_memory.assert_event("probe", ("v1", 99.0), 60)
+        result = engine.step(100)
+        assert result.occurrences("match") == [(("v1",), 50)]
+
+    def test_unbound_args_enumerate_instances(self):
+        # holdsAt over all vessels with a known draft above a threshold.
+        rules = [
+            happens_head(
+                "deep", (Var("Other"),),
+                [
+                    HappensAt(EventPattern("tick", ())),
+                    HoldsAt("draft", (Var("Other"),), Var("D")),
+                    Guard(lambda draft: draft > 9.0, ("D",)),
+                ],
+            )
+        ]
+        engine = make_engine(rules)
+        engine.working_memory.assert_value("draft", ("v1",), 12.0, 0)
+        engine.working_memory.assert_value("draft", ("v2",), 4.0, 0)
+        engine.working_memory.assert_event("tick", (), 50)
+        result = engine.step(100)
+        assert result.occurrences("deep") == [(("v1",), 50)]
+
+    def test_ground_value_check(self):
+        # holdsAt with a fully ground expected value acts as a filter.
+        rules = [
+            happens_head(
+                "redalert", (V,),
+                [
+                    HappensAt(EventPattern("ping", (V,))),
+                    HoldsAt("status", (V,), "red"),
+                ],
+            )
+        ]
+        engine = make_engine(rules)
+        engine.working_memory.assert_value("status", ("v1",), "red", 0)
+        engine.working_memory.assert_value("status", ("v2",), "green", 0)
+        engine.working_memory.assert_event("ping", ("v1",), 10)
+        engine.working_memory.assert_event("ping", ("v2",), 20)
+        result = engine.step(100)
+        assert result.occurrences("redalert") == [(("v1",), 10)]
+
+    def test_value_changes_between_events(self):
+        rules = [
+            happens_head(
+                "snapshot", (V, Var("S")),
+                [
+                    HappensAt(EventPattern("ping", (V,))),
+                    HoldsAt("status", (V,), Var("S")),
+                ],
+            )
+        ]
+        engine = make_engine(rules)
+        engine.working_memory.assert_value("status", ("v1",), "a", 0)
+        engine.working_memory.assert_value("status", ("v1",), "b", 50)
+        engine.working_memory.assert_event("ping", ("v1",), 25)
+        engine.working_memory.assert_event("ping", ("v1",), 75)
+        result = engine.step(100)
+        assert result.occurrences("snapshot") == [
+            (("v1", "a"), 25),
+            (("v1", "b"), 75),
+        ]

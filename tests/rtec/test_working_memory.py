@@ -1,0 +1,112 @@
+"""Tests for the windowed working memory."""
+
+from repro.rtec.working_memory import WorkingMemory
+
+
+class TestEvents:
+    def test_events_in_window(self):
+        memory = WorkingMemory()
+        memory.assert_event("gap", ("v1",), 50)
+        memory.assert_event("gap", ("v1",), 150)
+        visible = memory.events_in_window("gap", 100, 200)
+        assert [o.time for o in visible] == [150]
+
+    def test_window_is_left_open_right_closed(self):
+        memory = WorkingMemory()
+        memory.assert_event("gap", ("v1",), 100)
+        memory.assert_event("gap", ("v1",), 200)
+        visible = memory.events_in_window("gap", 100, 200)
+        # t=100 is excluded (<= Q - omega), t=200 included.
+        assert [o.time for o in visible] == [200]
+
+    def test_unarrived_events_invisible(self):
+        memory = WorkingMemory()
+        memory.assert_event("gap", ("v1",), 150, arrival=250)
+        assert memory.events_in_window("gap", 100, 200) == []
+        visible = memory.events_in_window("gap", 100, 300)
+        assert [o.time for o in visible] == [150]
+
+    def test_occurrences_sorted_by_time(self):
+        memory = WorkingMemory()
+        memory.assert_event("turn", ("v1",), 30)
+        memory.assert_event("turn", ("v2",), 10)
+        memory.assert_event("turn", ("v1",), 20)
+        visible = memory.events_in_window("turn", 0, 100)
+        assert [o.time for o in visible] == [10, 20, 30]
+
+    def test_unknown_functor_empty(self):
+        assert WorkingMemory().events_in_window("nope", 0, 10) == []
+
+    def test_event_functors_listing(self):
+        memory = WorkingMemory()
+        memory.assert_event("gap", ("v1",), 1)
+        memory.assert_event("turn", ("v1",), 2)
+        assert sorted(memory.event_functors()) == ["gap", "turn"]
+
+
+class TestValuedFluents:
+    def test_value_persists_until_next_assignment(self):
+        memory = WorkingMemory()
+        memory.assert_value("coord", ("v1",), (1.0, 1.0), 10)
+        memory.assert_value("coord", ("v1",), (2.0, 2.0), 50)
+        assert memory.value_at("coord", ("v1",), 30, 100) == (1.0, 1.0)
+        assert memory.value_at("coord", ("v1",), 50, 100) == (2.0, 2.0)
+        assert memory.value_at("coord", ("v1",), 99, 100) == (2.0, 2.0)
+
+    def test_no_value_before_first_assignment(self):
+        memory = WorkingMemory()
+        memory.assert_value("coord", ("v1",), (1.0, 1.0), 10)
+        assert memory.value_at("coord", ("v1",), 5, 100) is None
+
+    def test_unknown_instance(self):
+        assert WorkingMemory().value_at("coord", ("v9",), 10, 100) is None
+
+    def test_unarrived_assignment_skipped(self):
+        memory = WorkingMemory()
+        memory.assert_value("coord", ("v1",), (1.0, 1.0), 10)
+        memory.assert_value("coord", ("v1",), (2.0, 2.0), 50, arrival=500)
+        # At query time 100 the second assignment has not arrived.
+        assert memory.value_at("coord", ("v1",), 60, 100) == (1.0, 1.0)
+        assert memory.value_at("coord", ("v1",), 60, 500) == (2.0, 2.0)
+
+    def test_out_of_order_assertions_sorted(self):
+        memory = WorkingMemory()
+        memory.assert_value("coord", ("v1",), (2.0, 2.0), 50)
+        memory.assert_value("coord", ("v1",), (1.0, 1.0), 10)
+        assert memory.value_at("coord", ("v1",), 30, 100) == (1.0, 1.0)
+
+    def test_valued_instances(self):
+        memory = WorkingMemory()
+        memory.assert_value("coord", ("v1",), (1.0, 1.0), 10)
+        memory.assert_value("coord", ("v2",), (2.0, 2.0), 10)
+        memory.assert_value("draft", ("v1",), 5.0, 10)
+        assert sorted(memory.valued_instances("coord")) == [("v1",), ("v2",)]
+
+
+class TestForgetting:
+    def test_old_events_dropped(self):
+        memory = WorkingMemory()
+        memory.assert_event("gap", ("v1",), 50)
+        memory.assert_event("gap", ("v1",), 150)
+        memory.forget_before(100)
+        assert memory.event_count() == 1
+        # The horizon itself is dropped too (<= horizon).
+        memory.assert_event("gap", ("v1",), 200)
+        memory.forget_before(200)
+        assert memory.event_count() == 0
+
+    def test_latest_pre_horizon_value_retained(self):
+        memory = WorkingMemory()
+        memory.assert_value("coord", ("v1",), (1.0, 1.0), 10)
+        memory.assert_value("coord", ("v1",), (2.0, 2.0), 50)
+        memory.forget_before(100)
+        # The value at the window edge persists: assignments before the
+        # horizon collapse to the most recent one.
+        assert memory.value_at("coord", ("v1",), 101, 200) == (2.0, 2.0)
+
+    def test_forget_keeps_recent(self):
+        memory = WorkingMemory()
+        for t in range(0, 100, 10):
+            memory.assert_event("turn", ("v1",), t)
+        kept = memory.forget_before(50)
+        assert kept == 4  # 60, 70, 80, 90

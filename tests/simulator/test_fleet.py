@@ -1,0 +1,149 @@
+"""Tests for fleet assembly and stream generation."""
+
+import pytest
+
+from repro.simulator import FleetSimulator, NoiseModel, replicate_positions
+from repro.simulator.noise import NO_NOISE
+from repro.simulator.vessel import VesselType
+
+
+class TestMixedFleet:
+    def test_fleet_size(self, world):
+        simulator = FleetSimulator(world, seed=3, duration_seconds=2 * 3600)
+        fleet = simulator.build_mixed_fleet(20)
+        assert len(fleet) == 20
+
+    def test_unique_mmsis(self, world):
+        simulator = FleetSimulator(world, seed=3, duration_seconds=2 * 3600)
+        fleet = simulator.build_mixed_fleet(20)
+        mmsis = [vessel.mmsi for vessel in fleet]
+        assert len(set(mmsis)) == len(mmsis)
+
+    def test_deterministic_for_seed(self, world):
+        def build():
+            simulator = FleetSimulator(world, seed=5, duration_seconds=3600)
+            fleet = simulator.build_mixed_fleet(10)
+            return simulator.positions(fleet)
+
+        assert build() == build()
+
+    def test_type_mix(self, world):
+        simulator = FleetSimulator(world, seed=3, duration_seconds=2 * 3600)
+        fleet = simulator.build_mixed_fleet(40)
+        types = {vessel.spec.vessel_type for vessel in fleet}
+        assert VesselType.FERRY in types
+        assert VesselType.CARGO in types
+        assert VesselType.FISHING in types
+
+    def test_stream_timestamp_ordered(self, small_fleet):
+        stream = small_fleet["stream"]
+        assert all(
+            a.timestamp <= b.timestamp for a, b in zip(stream, stream[1:])
+        )
+
+    def test_per_vessel_strictly_increasing(self, small_fleet):
+        from collections import defaultdict
+
+        latest = defaultdict(lambda: -1)
+        for position in small_fleet["stream"]:
+            assert position.timestamp > latest[position.mmsi]
+            latest[position.mmsi] = position.timestamp
+
+    def test_report_rate_realistic(self, small_fleet):
+        # Mean per-vessel report interval should be tens of seconds to a few
+        # minutes, as in the paper's dataset (~2 min).
+        stream = small_fleet["stream"]
+        fleet = small_fleet["fleet"]
+        span = stream[-1].timestamp - stream[0].timestamp
+        mean_interval = span * len(fleet) / len(stream)
+        assert 20.0 < mean_interval < 300.0
+
+    def test_ground_truth_accessible(self, small_fleet):
+        vessel = small_fleet["fleet"][0]
+        lon, lat = vessel.ground_truth_at(1800)
+        assert isinstance(lon, float)
+        assert isinstance(lat, float)
+
+
+class TestScenarioFleets:
+    def test_suspicious_scenario_vessels_converge(self, world):
+        simulator = FleetSimulator(world, seed=4, duration_seconds=6 * 3600)
+        fleet = simulator.build_scenario_suspicious(5)
+        assert len(fleet) == 5
+        # Mid-simulation all vessels sit near the same rendezvous.
+        probe = 3 * 3600
+        points = [v.ground_truth_at(probe) for v in fleet]
+        lons = [p[0] for p in points]
+        lats = [p[1] for p in points]
+        assert max(lons) - min(lons) < 0.05
+        assert max(lats) - min(lats) < 0.05
+
+    def test_illegal_shipping_scenario_has_silence(self, world):
+        simulator = FleetSimulator(world, seed=4, duration_seconds=4 * 3600)
+        fleet = simulator.build_scenario_illegal_shipping(2)
+        for vessel in fleet:
+            assert vessel.behaviour.silence_windows
+            start, end = vessel.behaviour.silence_windows[0]
+            reported = [
+                p.timestamp
+                for p in vessel.positions
+                if start <= p.timestamp < end
+            ]
+            assert reported == []
+
+    def test_dangerous_shipping_scenario_draft(self, world):
+        simulator = FleetSimulator(world, seed=4, duration_seconds=4 * 3600)
+        fleet = simulator.build_scenario_dangerous_shipping(2)
+        assert all(vessel.spec.draft_meters > 4.0 for vessel in fleet)
+
+
+class TestNoiseIntegration:
+    def test_noise_free_matches_ground_truth(self, world):
+        simulator = FleetSimulator(
+            world, seed=8, duration_seconds=3600, noise=NO_NOISE
+        )
+        fleet = simulator.build_mixed_fleet(3)
+        for vessel in fleet:
+            for position in vessel.positions[:20]:
+                truth = vessel.ground_truth_at(position.timestamp)
+                assert position.lon == pytest.approx(truth[0], abs=1e-9)
+                assert position.lat == pytest.approx(truth[1], abs=1e-9)
+
+    def test_noisy_positions_deviate(self, world):
+        simulator = FleetSimulator(
+            world, seed=8, duration_seconds=3600,
+            noise=NoiseModel(gps_sigma_meters=10.0, outlier_probability=0.0),
+        )
+        fleet = simulator.build_mixed_fleet(3)
+        vessel = fleet[0]
+        deviations = [
+            abs(p.lon - vessel.ground_truth_at(p.timestamp)[0])
+            + abs(p.lat - vessel.ground_truth_at(p.timestamp)[1])
+            for p in vessel.positions[:50]
+        ]
+        assert any(d > 0 for d in deviations)
+
+
+class TestReplicatePositions:
+    def test_single_copy_is_identity(self, small_fleet):
+        stream = small_fleet["stream"]
+        assert replicate_positions(stream, 1) == stream
+
+    def test_copies_multiply_volume(self, small_fleet):
+        stream = small_fleet["stream"]
+        replicated = replicate_positions(stream, 3)
+        assert len(replicated) == 3 * len(stream)
+        assert len({p.mmsi for p in replicated}) == 3 * len(
+            {p.mmsi for p in stream}
+        )
+
+    def test_invalid_copies(self, small_fleet):
+        with pytest.raises(ValueError, match="copies"):
+            replicate_positions(small_fleet["stream"], 0)
+
+    def test_replicas_preserve_order(self, small_fleet):
+        replicated = replicate_positions(small_fleet["stream"], 2)
+        assert all(
+            a.timestamp <= b.timestamp
+            for a, b in zip(replicated, replicated[1:])
+        )

@@ -1,0 +1,121 @@
+"""Tests for motion plans and the plan builder."""
+
+import random
+
+import pytest
+
+from repro.geo.haversine import haversine_meters
+from repro.geo.units import knots_to_mps
+from repro.simulator.motion import Leg, MotionPlan, PlanBuilder
+
+
+class TestLeg:
+    def test_hold_detection(self):
+        hold = Leg(0, 100, 24.0, 38.0, 24.0, 38.0)
+        move = Leg(0, 100, 24.0, 38.0, 24.1, 38.0)
+        assert hold.is_hold
+        assert not move.is_hold
+
+    def test_interpolation_inside(self):
+        leg = Leg(0, 100, 24.0, 38.0, 25.0, 38.0)
+        lon, lat = leg.position_at(50)
+        assert lon == pytest.approx(24.5)
+
+    def test_clamping(self):
+        leg = Leg(10, 20, 24.0, 38.0, 25.0, 38.0)
+        assert leg.position_at(0) == (24.0, 38.0)
+        assert leg.position_at(99) == (25.0, 38.0)
+
+
+class TestMotionPlan:
+    def test_requires_legs(self):
+        with pytest.raises(ValueError, match="at least one leg"):
+            MotionPlan([])
+
+    def test_requires_contiguity(self):
+        legs = [
+            Leg(0, 100, 24.0, 38.0, 24.1, 38.0),
+            Leg(150, 200, 24.1, 38.0, 24.2, 38.0),
+        ]
+        with pytest.raises(ValueError, match="contiguous"):
+            MotionPlan(legs)
+
+    def test_position_lookup_across_legs(self):
+        legs = [
+            Leg(0, 100, 24.0, 38.0, 24.1, 38.0),
+            Leg(100, 200, 24.1, 38.0, 24.1, 38.1),
+        ]
+        plan = MotionPlan(legs)
+        assert plan.position_at(50)[0] == pytest.approx(24.05)
+        assert plan.position_at(150)[1] == pytest.approx(38.05)
+
+    def test_speed_at(self):
+        legs = [Leg(0, 1000, 24.0, 38.0, 24.1, 38.0)]
+        plan = MotionPlan(legs)
+        expected = haversine_meters(24.0, 38.0, 24.1, 38.0) / 1000
+        assert plan.speed_at(500) == pytest.approx(expected)
+
+    def test_speed_zero_on_hold(self):
+        plan = MotionPlan([Leg(0, 100, 24.0, 38.0, 24.0, 38.0)])
+        assert plan.speed_at(50) == 0.0
+
+
+class TestPlanBuilder:
+    def test_hold_then_sail(self):
+        plan = (
+            PlanBuilder(0, 24.0, 38.0)
+            .hold(600)
+            .sail_to(24.2, 38.0, 12.0)
+            .build()
+        )
+        assert plan.start_time == 0
+        assert plan.position_at(300) == (24.0, 38.0)
+        end_lon, end_lat = plan.position_at(plan.end_time)
+        assert (end_lon, end_lat) == pytest.approx((24.2, 38.0))
+
+    def test_sail_duration_matches_speed(self):
+        builder = PlanBuilder(0, 24.0, 38.0)
+        distance = haversine_meters(24.0, 38.0, 24.2, 38.0)
+        builder.sail_to(24.2, 38.0, 10.0)
+        expected = distance / knots_to_mps(10.0)
+        assert builder.time == pytest.approx(expected, rel=0.01)
+
+    def test_invalid_hold(self):
+        with pytest.raises(ValueError, match="hold duration"):
+            PlanBuilder(0, 24.0, 38.0).hold(0)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError, match="speed must be positive"):
+            PlanBuilder(0, 24.0, 38.0).sail_to(25.0, 38.0, 0.0)
+
+    def test_sail_heading(self):
+        builder = PlanBuilder(0, 24.0, 38.0).sail_heading(90.0, 10_000.0, 10.0)
+        plan = builder.build()
+        end = plan.position_at(plan.end_time)
+        assert haversine_meters(24.0, 38.0, end[0], end[1]) == pytest.approx(
+            10_000.0, rel=0.01
+        )
+
+    def test_loiter_stays_within_radius(self):
+        rng = random.Random(4)
+        builder = PlanBuilder(0, 24.0, 38.0).loiter(
+            duration_seconds=7200,
+            speed_knots=3.0,
+            wander_radius_meters=2000.0,
+            rng=rng,
+        )
+        plan = builder.build()
+        for timestamp in range(0, plan.end_time, 300):
+            lon, lat = plan.position_at(timestamp)
+            # Wander bound plus one leg of slack (steer-back is reactive).
+            assert haversine_meters(24.0, 38.0, lon, lat) < 4000.0
+
+    def test_loiter_speed_is_slow(self):
+        rng = random.Random(4)
+        plan = (
+            PlanBuilder(0, 24.0, 38.0)
+            .loiter(3600, 3.0, 2000.0, rng=rng)
+            .build()
+        )
+        speeds = [plan.speed_at(t) for t in range(60, plan.end_time, 300)]
+        assert max(speeds) < knots_to_mps(5.0)

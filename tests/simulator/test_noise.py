@@ -1,0 +1,48 @@
+"""Tests for the measurement-noise model."""
+
+import random
+
+from repro.geo.haversine import haversine_meters
+from repro.simulator.noise import NO_NOISE, NoiseModel
+
+
+class TestNoiseModel:
+    def test_no_noise_is_identity(self):
+        rng = random.Random(1)
+        lon, lat, outlier = NO_NOISE.perturb(rng, 24.0, 38.0)
+        assert (lon, lat) == (24.0, 38.0)
+        assert not outlier
+
+    def test_gps_jitter_is_small(self):
+        model = NoiseModel(gps_sigma_meters=8.0, outlier_probability=0.0)
+        rng = random.Random(2)
+        displacements = []
+        for _ in range(500):
+            lon, lat, outlier = model.perturb(rng, 24.0, 38.0)
+            assert not outlier
+            displacements.append(haversine_meters(24.0, 38.0, lon, lat))
+        # |N(0, 8)| stays below ~5 sigma.
+        assert max(displacements) < 60.0
+        assert sum(displacements) / len(displacements) < 20.0
+
+    def test_outliers_are_large_and_flagged(self):
+        model = NoiseModel(
+            gps_sigma_meters=0.0,
+            outlier_probability=1.0,
+            outlier_min_meters=500.0,
+            outlier_max_meters=1000.0,
+        )
+        rng = random.Random(3)
+        for _ in range(50):
+            lon, lat, outlier = model.perturb(rng, 24.0, 38.0)
+            assert outlier
+            displacement = haversine_meters(24.0, 38.0, lon, lat)
+            assert 499.0 <= displacement <= 1001.0
+
+    def test_outlier_rate_approximates_probability(self):
+        model = NoiseModel(outlier_probability=0.1)
+        rng = random.Random(4)
+        flagged = sum(
+            1 for _ in range(2000) if model.perturb(rng, 24.0, 38.0)[2]
+        )
+        assert 120 < flagged < 280  # ~200 expected

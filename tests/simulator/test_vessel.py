@@ -1,0 +1,165 @@
+"""Tests for vessel behaviour programs."""
+
+import random
+
+import pytest
+
+from repro.geo.haversine import haversine_meters
+from repro.simulator.vessel import (
+    VesselType,
+    make_cargo,
+    make_deviant_tanker,
+    make_ferry,
+    make_fishing,
+    make_loiterer,
+    make_shallow_runner,
+)
+from repro.simulator.world import AreaKind
+
+DURATION = 6 * 3600
+
+
+def rng():
+    return random.Random(11)
+
+
+class TestFerry:
+    def test_covers_duration(self, world):
+        behaviour = make_ferry(1, world, rng(), 0, DURATION)
+        assert behaviour.plan.end_time >= DURATION
+        assert behaviour.spec.vessel_type is VesselType.FERRY
+        assert not behaviour.spec.is_fishing
+
+    def test_visits_two_ports(self, world):
+        behaviour = make_ferry(1, world, rng(), 0, DURATION)
+        plan = behaviour.plan
+        visited = set()
+        for timestamp in range(0, plan.end_time, 300):
+            lon, lat = plan.position_at(timestamp)
+            for port in world.ports:
+                if port.polygon.contains(lon, lat):
+                    visited.add(port.name)
+        assert len(visited) >= 2
+
+
+class TestCargo:
+    def test_long_straight_crossing(self, world):
+        behaviour = make_cargo(2, world, rng(), 0, DURATION)
+        plan = behaviour.plan
+        start = plan.position_at(plan.start_time)
+        end = plan.position_at(plan.end_time)
+        assert haversine_meters(start[0], start[1], end[0], end[1]) > 50_000
+
+
+class TestDeviantTanker:
+    def test_silence_window_present(self, world):
+        behaviour = make_deviant_tanker(3, world, rng(), 0, DURATION)
+        assert len(behaviour.silence_windows) == 1
+        start, end = behaviour.silence_windows[0]
+        assert end > start
+
+    def test_route_crosses_protected_area(self, world):
+        protected = world.areas_of_kind(AreaKind.PROTECTED)[2]
+        behaviour = make_deviant_tanker(
+            3, world, rng(), 0, DURATION, protected=protected
+        )
+        plan = behaviour.plan
+        inside = any(
+            protected.polygon.is_close(*plan.position_at(t), 3000.0)
+            for t in range(0, plan.end_time, 120)
+        )
+        assert inside
+
+    def test_silence_covers_area_crossing(self, world):
+        protected = world.areas_of_kind(AreaKind.PROTECTED)[0]
+        behaviour = make_deviant_tanker(
+            3, world, rng(), 0, DURATION, protected=protected
+        )
+        start, end = behaviour.silence_windows[0]
+        # Somewhere during the silence the vessel is close to the area.
+        close = any(
+            protected.polygon.is_close(*behaviour.plan.position_at(t), 5000.0)
+            for t in range(start, min(end, behaviour.plan.end_time), 60)
+        )
+        assert close
+
+    def test_requires_protected_areas(self, world):
+        from repro.simulator.world import WorldModel
+
+        empty = WorldModel(world.bbox, ports=world.ports, areas=[])
+        with pytest.raises(ValueError, match="no protected areas"):
+            make_deviant_tanker(3, empty, rng(), 0, DURATION)
+
+
+class TestFishing:
+    def test_fishing_spec(self, world):
+        behaviour = make_fishing(4, world, rng(), 0, DURATION)
+        assert behaviour.spec.is_fishing
+        assert behaviour.spec.vessel_type is VesselType.FISHING
+
+    def test_illegal_fisher_reaches_forbidden_ground(self, world):
+        ground = world.areas_of_kind(AreaKind.FORBIDDEN_FISHING)[1]
+        behaviour = make_fishing(
+            4, world, rng(), 0, DURATION, illegal=True, ground=ground
+        )
+        plan = behaviour.plan
+        inside = any(
+            ground.polygon.is_close(*plan.position_at(t), 3000.0)
+            for t in range(0, min(plan.end_time, DURATION), 120)
+        )
+        assert inside
+
+    def test_legal_fisher_avoids_areas(self, world):
+        behaviour = make_fishing(4, world, rng(), 0, DURATION, illegal=False)
+        plan = behaviour.plan
+        # The chosen open-sea ground is away from every regulated area; the
+        # transit may pass near some, so only check the loiter phase (low
+        # speed far from port).
+        for timestamp in range(0, min(plan.end_time, DURATION), 300):
+            lon, lat = plan.position_at(timestamp)
+            speed = plan.speed_at(timestamp)
+            near_port = any(
+                port.polygon.is_close(lon, lat, 3000.0) for port in world.ports
+            )
+            if speed > 0 and speed < 2.5 and not near_port:
+                assert all(
+                    not area.polygon.contains(lon, lat) for area in world.areas
+                )
+
+
+class TestLoiterer:
+    def test_stops_at_rendezvous(self, world):
+        rendezvous = (24.5, 37.5)
+        behaviour = make_loiterer(
+            5, world, rng(), 0, DURATION,
+            rendezvous=rendezvous, arrive_by=DURATION // 3,
+            stay_seconds=DURATION // 3,
+        )
+        plan = behaviour.plan
+        # During the stay the vessel is within ~500 m of the rendezvous.
+        probe = DURATION // 2
+        lon, lat = plan.position_at(probe)
+        assert haversine_meters(rendezvous[0], rendezvous[1], lon, lat) < 1000.0
+
+
+class TestShallowRunner:
+    def test_draft_exceeds_area_depth(self, world):
+        shallow = world.areas_of_kind(AreaKind.SHALLOW)[0]
+        behaviour = make_shallow_runner(
+            6, world, rng(), 0, DURATION, shallow=shallow
+        )
+        assert behaviour.spec.draft_meters > shallow.depth_meters
+
+    def test_creeps_through_area(self, world):
+        shallow = world.areas_of_kind(AreaKind.SHALLOW)[0]
+        behaviour = make_shallow_runner(
+            6, world, rng(), 0, DURATION, shallow=shallow
+        )
+        plan = behaviour.plan
+        slow_inside = False
+        for timestamp in range(0, min(plan.end_time, DURATION), 60):
+            lon, lat = plan.position_at(timestamp)
+            if shallow.polygon.is_close(lon, lat, 2000.0):
+                if 0 < plan.speed_at(timestamp) < 2.1:
+                    slow_inside = True
+        assert slow_inside

@@ -1,0 +1,61 @@
+"""Synthetic trace builders shared by the tracking tests."""
+
+from repro.ais.stream import PositionalTuple
+from repro.geo.haversine import destination_point
+from repro.geo.units import knots_to_mps
+
+
+class TraceBuilder:
+    """Compose a deterministic vessel trace segment by segment."""
+
+    def __init__(self, mmsi=1, lon=24.0, lat=38.0, start_time=0):
+        self.mmsi = mmsi
+        self.lon = lon
+        self.lat = lat
+        self.time = start_time
+        self.positions: list[PositionalTuple] = [
+            PositionalTuple(mmsi, lon, lat, start_time)
+        ]
+
+    def cruise(self, heading, speed_knots, reports, interval=60):
+        """Straight constant-speed reports."""
+        step = knots_to_mps(speed_knots) * interval
+        for _ in range(reports):
+            self.lon, self.lat = destination_point(
+                self.lon, self.lat, heading, step
+            )
+            self.time += interval
+            self.positions.append(
+                PositionalTuple(self.mmsi, self.lon, self.lat, self.time)
+            )
+        return self
+
+    def halt(self, reports, interval=120, jitter_meters=0.0):
+        """Stationary reports, optionally with deterministic jitter."""
+        for index in range(reports):
+            lon, lat = self.lon, self.lat
+            if jitter_meters:
+                lon, lat = destination_point(
+                    lon, lat, (index * 73) % 360, jitter_meters
+                )
+            self.time += interval
+            self.positions.append(
+                PositionalTuple(self.mmsi, lon, lat, self.time)
+            )
+        return self
+
+    def silence(self, seconds):
+        """Advance time without reporting (a communication gap)."""
+        self.time += seconds
+        return self
+
+    def jump(self, heading, distance_meters, interval=60):
+        """A single displaced report (an outlier), then return to course."""
+        lon, lat = destination_point(self.lon, self.lat, heading, distance_meters)
+        self.time += interval
+        self.positions.append(PositionalTuple(self.mmsi, lon, lat, self.time))
+        return self
+
+    def build(self):
+        """The accumulated positions."""
+        return list(self.positions)

@@ -1,0 +1,52 @@
+"""Tests for the Table 3 tracking parameters."""
+
+import pytest
+
+from repro.geo.units import knots_to_mps
+from repro.tracking import TrackingParameters
+
+
+class TestDefaults:
+    def test_table3_defaults(self):
+        params = TrackingParameters()
+        assert params.min_speed_knots == 1.0
+        assert params.speed_change_percent == 25.0
+        assert params.gap_period_seconds == 600
+        assert params.turn_threshold_degrees == 15.0
+        assert params.stop_radius_meters == 200.0
+        assert params.inspected_positions == 10
+
+    def test_derived_speeds(self):
+        params = TrackingParameters()
+        assert params.min_speed_mps == pytest.approx(knots_to_mps(1.0))
+        assert params.slow_speed_mps == pytest.approx(knots_to_mps(5.0))
+        assert params.outlier_min_speed_mps == pytest.approx(knots_to_mps(20.0))
+
+    def test_frozen(self):
+        params = TrackingParameters()
+        with pytest.raises(AttributeError):
+            params.min_speed_knots = 2.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"min_speed_knots": 0.0}, "min_speed_knots"),
+            ({"min_speed_knots": -1.0}, "min_speed_knots"),
+            ({"speed_change_percent": 0.0}, "speed_change_percent"),
+            ({"gap_period_seconds": 0}, "gap_period_seconds"),
+            ({"turn_threshold_degrees": 0.0}, "turn_threshold_degrees"),
+            ({"turn_threshold_degrees": 181.0}, "turn_threshold_degrees"),
+            ({"stop_radius_meters": 0.0}, "stop_radius_meters"),
+            ({"inspected_positions": 1}, "inspected_positions"),
+        ],
+    )
+    def test_rejects_invalid(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            TrackingParameters(**kwargs)
+
+    def test_valid_sweep_values_accepted(self):
+        # The Delta-theta sweep of Figures 8/9.
+        for degrees in (5.0, 10.0, 15.0, 20.0):
+            TrackingParameters(turn_threshold_degrees=degrees)

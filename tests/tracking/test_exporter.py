@@ -1,0 +1,99 @@
+"""Tests for KML / GeoJSON export of synopses."""
+
+import json
+import xml.etree.ElementTree as ET
+
+from repro.tracking import TrajectoryExporter
+from repro.tracking.types import CriticalPoint, MovementEventType
+
+
+def make_point(mmsi, timestamp, lon=24.0, lat=38.0, kinds=(MovementEventType.TURN,)):
+    return CriticalPoint(
+        mmsi=mmsi,
+        lon=lon,
+        lat=lat,
+        timestamp=timestamp,
+        annotations=frozenset(kinds),
+        speed_mps=5.0,
+    )
+
+
+POINTS = [
+    make_point(1, 10, lon=24.0),
+    make_point(1, 20, lon=24.1),
+    make_point(2, 15, lon=25.0, kinds=(MovementEventType.STOP_END,)),
+]
+
+
+class TestGrouping:
+    def test_groups_and_orders_by_time(self):
+        exporter = TrajectoryExporter()
+        tracks = exporter.group_by_vessel(
+            [make_point(1, 20), make_point(1, 10), make_point(2, 5)]
+        )
+        assert sorted(tracks) == [1, 2]
+        assert [p.timestamp for p in tracks[1]] == [10, 20]
+
+
+class TestKml:
+    def test_well_formed_xml(self):
+        document = TrajectoryExporter().to_kml(POINTS)
+        root = ET.fromstring(document)
+        assert root.tag.endswith("kml")
+
+    def test_one_linestring_per_vessel(self):
+        document = TrajectoryExporter().to_kml(POINTS)
+        root = ET.fromstring(document)
+        ns = "{http://www.opengis.net/kml/2.2}"
+        linestrings = root.findall(f".//{ns}LineString")
+        assert len(linestrings) == 2
+
+    def test_placemark_per_critical_point(self):
+        document = TrajectoryExporter().to_kml(POINTS)
+        root = ET.fromstring(document)
+        ns = "{http://www.opengis.net/kml/2.2}"
+        points = root.findall(f".//{ns}Point")
+        assert len(points) == len(POINTS)
+
+    def test_annotations_in_names(self):
+        document = TrajectoryExporter().to_kml(POINTS)
+        assert "turn" in document
+        assert "stop_end" in document
+
+    def test_empty_input(self):
+        document = TrajectoryExporter().to_kml([])
+        root = ET.fromstring(document)
+        assert root is not None
+
+
+class TestGeoJson:
+    def test_serializable(self):
+        collection = TrajectoryExporter().to_geojson(POINTS)
+        encoded = json.dumps(collection)
+        assert json.loads(encoded)["type"] == "FeatureCollection"
+
+    def test_feature_counts(self):
+        collection = TrajectoryExporter().to_geojson(POINTS)
+        kinds = [f["properties"]["kind"] for f in collection["features"]]
+        assert kinds.count("synopsis") == 2
+        assert kinds.count("critical_point") == 3
+
+    def test_point_properties(self):
+        collection = TrajectoryExporter().to_geojson(POINTS)
+        point_features = [
+            f
+            for f in collection["features"]
+            if f["properties"]["kind"] == "critical_point"
+        ]
+        sample = point_features[0]["properties"]
+        assert {"mmsi", "timestamp", "annotations", "speed_knots"} <= set(sample)
+
+    def test_linestring_coordinates_ordered(self):
+        collection = TrajectoryExporter().to_geojson(POINTS)
+        line = next(
+            f
+            for f in collection["features"]
+            if f["properties"]["kind"] == "synopsis"
+            and f["properties"]["mmsi"] == 1
+        )
+        assert line["geometry"]["coordinates"] == [[24.0, 38.0], [24.1, 38.0]]

@@ -1,0 +1,97 @@
+"""Tests for the sliding window operator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tracking.types import CriticalPoint, MovementEventType
+from repro.tracking.window import SlidingWindow, WindowSpec
+
+
+def make_point(mmsi, timestamp):
+    return CriticalPoint(
+        mmsi=mmsi,
+        lon=24.0,
+        lat=38.0,
+        timestamp=timestamp,
+        annotations=frozenset({MovementEventType.TURN}),
+    )
+
+
+class TestWindowSpec:
+    def test_of_minutes(self):
+        spec = WindowSpec.of_minutes(60, 5)
+        assert spec.range_seconds == 3600
+        assert spec.slide_seconds == 300
+
+    def test_of_hours(self):
+        spec = WindowSpec.of_hours(2, 0.5)
+        assert spec.range_seconds == 7200
+        assert spec.slide_seconds == 1800
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError, match="range must be positive"):
+            WindowSpec(0, 10)
+
+    def test_invalid_slide(self):
+        with pytest.raises(ValueError, match="slide must be positive"):
+            WindowSpec(10, 0)
+
+
+class TestSlidingWindow:
+    def test_items_within_range_retained(self):
+        window = SlidingWindow(WindowSpec(100, 10))
+        window.add([make_point(1, 50), make_point(1, 90)])
+        expired = window.slide_to(100)
+        assert expired == []
+        assert len(window) == 2
+
+    def test_expired_items_returned(self):
+        window = SlidingWindow(WindowSpec(100, 10))
+        window.add([make_point(1, 50), make_point(1, 150)])
+        expired = window.slide_to(200)
+        # Horizon is 200 - 100 = 100: the t=50 item expires (t <= horizon).
+        assert [p.timestamp for p in expired] == [50]
+        assert [p.timestamp for p in window.contents(1)] == [150]
+
+    def test_boundary_item_expires(self):
+        window = SlidingWindow(WindowSpec(100, 10))
+        window.add([make_point(1, 100)])
+        expired = window.slide_to(200)
+        assert len(expired) == 1
+
+    def test_empty_vessels_removed(self):
+        window = SlidingWindow(WindowSpec(100, 10))
+        window.add([make_point(1, 10), make_point(2, 190)])
+        window.slide_to(200)
+        assert window.vessel_keys() == [2]
+
+    def test_contents_per_vessel_and_fleet(self):
+        window = SlidingWindow(WindowSpec(1000, 10))
+        window.add([make_point(1, 10), make_point(2, 20), make_point(1, 30)])
+        assert len(window.contents(1)) == 2
+        assert len(window.contents()) == 3
+        assert window.contents(99) == []
+
+    def test_query_time_recorded(self):
+        window = SlidingWindow(WindowSpec(100, 10))
+        assert window.query_time is None
+        window.slide_to(500)
+        assert window.query_time == 500
+
+    @given(
+        timestamps=st.lists(
+            st.integers(min_value=0, max_value=10_000), min_size=1, max_size=100
+        ),
+        window_range=st.integers(min_value=1, max_value=2_000),
+    )
+    def test_retained_plus_expired_equals_added(self, timestamps, window_range):
+        window = SlidingWindow(WindowSpec(window_range, 10))
+        points = [make_point(1, t) for t in sorted(timestamps)]
+        window.add(points)
+        query_time = max(timestamps) + 1
+        expired = window.slide_to(query_time)
+        retained = window.contents()
+        assert len(expired) + len(retained) == len(points)
+        horizon = query_time - window_range
+        assert all(p.timestamp <= horizon for p in expired)
+        assert all(p.timestamp > horizon for p in retained)
