@@ -15,7 +15,10 @@ import time
 from functools import lru_cache
 from pathlib import Path
 
+from repro import obs
 from repro.ais.stream import StreamReplayer, TimedArrival
+from repro.obs.report import build_pipeline_report, write_report
+from repro.pipeline import SurveillanceSystem, SystemConfig
 from repro.simulator import FleetSimulator, build_aegean_world
 from repro.tracking import (
     Compressor,
@@ -162,6 +165,58 @@ def per_vessel_synopses(stream, parameters=None):
     return dict(originals), dict(synopses)
 
 
+#: Default landing spot of the machine-readable pipeline benchmark: the
+#: repo root, so the perf trajectory (`BENCH_*.json`) accumulates per PR.
+BENCH_PIPELINE_PATH = Path(__file__).parent.parent / "BENCH_pipeline.json"
+
+
+def run_pipeline_benchmark(
+    fleet_size: int = FLEET_SIZE,
+    duration: int = DURATION_SECONDS,
+    window: WindowSpec | None = None,
+    json_path: Path | str | None = None,
+) -> dict:
+    """Replay the *whole* pipeline under a fresh metrics registry.
+
+    Unlike the per-figure benches (which isolate one component each), this
+    drives :class:`SurveillanceSystem` end to end — tracking, staging,
+    reconstruction, loading, recognition — and returns the standard
+    observability report: per-phase p50/p95 latencies, events/sec
+    throughput and the compression ratio.  When ``json_path`` is given the
+    report is also written there; ``python benchmarks/harness.py`` writes
+    it to :data:`BENCH_PIPELINE_PATH` so every PR can refresh the
+    repo-root perf trajectory.
+    """
+    window = window or WindowSpec.of_minutes(120, 30)
+    _, specs, stream = benchmark_fleet(fleet_size, duration)
+    with obs.activate(obs.MetricsRegistry()) as registry:
+        system = SurveillanceSystem(
+            benchmark_world(), specs, SystemConfig(window=window)
+        )
+        replayer = StreamReplayer(
+            [TimedArrival(p.timestamp, p) for p in stream],
+            window.slide_seconds,
+        )
+        for query_time, batch in replayer.batches():
+            system.process_slide(batch, query_time)
+        system.finalize()
+        report = build_pipeline_report(
+            system,
+            registry,
+            config={
+                "benchmark": "pipeline",
+                "fleet_size": fleet_size,
+                "duration_seconds": duration,
+                "window_range_seconds": window.range_seconds,
+                "window_slide_seconds": window.slide_seconds,
+                "seed": 2015,
+            },
+        )
+    if json_path is not None:
+        write_report(report, json_path)
+    return report
+
+
 def record_result(name: str, lines: list[str]) -> Path:
     """Write a result table under benchmarks/results/ and echo it.
 
@@ -174,3 +229,20 @@ def record_result(name: str, lines: list[str]) -> Path:
     print(f"\n=== {name} ===")
     print(content)
     return path
+
+
+if __name__ == "__main__":
+    bench_report = run_pipeline_benchmark(json_path=BENCH_PIPELINE_PATH)
+    throughput = bench_report["throughput"]
+    print(f"BENCH_pipeline written to {BENCH_PIPELINE_PATH}")
+    print(
+        f"  slides={bench_report['slides']}  "
+        f"positions/s={throughput['positions_per_sec']:.0f}  "
+        f"events/s={throughput['events_per_sec']:.0f}  "
+        f"compression={bench_report['compression_ratio']:.1%}"
+    )
+    for phase_name, stats in bench_report["phases"].items():
+        print(
+            f"  {phase_name:>14}: p50={stats['p50_ms']:.2f}ms "
+            f"p95={stats['p95_ms']:.2f}ms mean={stats['mean_ms']:.2f}ms"
+        )

@@ -34,6 +34,7 @@ Quickstart::
     system.finalize()
 """
 
+from repro import obs
 from repro.ais import DataScanner, DelayModel, PositionalTuple, StreamReplayer
 from repro.ais.stream import TimedArrival
 from repro.maritime import (
@@ -43,6 +44,7 @@ from repro.maritime import (
     PartitionedRecognizer,
 )
 from repro.mod import MovingObjectDatabase, compute_od_matrix, compute_trip_statistics
+from repro.obs import MetricsRegistry
 from repro.pipeline import SlideReport, SurveillanceSystem, SystemConfig
 from repro.reconstruct import StagingArea, TripSegmenter, fleet_rmse, trajectory_rmse
 from repro.rtec import RTEC
@@ -69,6 +71,7 @@ __all__ = [
     "FleetSimulator",
     "MaritimeConfig",
     "MaritimeRecognizer",
+    "MetricsRegistry",
     "MobilityTracker",
     "MovementEvent",
     "MovementEventType",
@@ -90,6 +93,7 @@ __all__ = [
     "compute_od_matrix",
     "compute_trip_statistics",
     "fleet_rmse",
+    "obs",
     "trajectory_rmse",
     "__version__",
 ]

@@ -4,16 +4,21 @@ Usage::
 
     python -m repro [--vessels N] [--hours H] [--seed S]
                     [--window-hours W] [--slide-minutes B]
-                    [--spatial-facts] [--kml PATH]
+                    [--spatial-facts] [--kml PATH] [--metrics-json PATH]
 
 Simulates a mixed fleet, runs the full pipeline, streams alerts to stdout
 as they are recognized, and prints the end-of-run summary (compression,
-phase timings, Table-4 trip statistics).
+phase timings, Table-4 trip statistics).  With ``--metrics-json`` the
+metrics registry is enabled for the run and a machine-readable report
+(per-phase p50/p95 latencies, events/sec throughput, compression ratio,
+full registry snapshot) is written to the given path — see
+docs/OBSERVABILITY.md for the format.
 """
 
 import argparse
 import sys
 
+from repro import obs
 from repro import (
     FleetSimulator,
     StreamReplayer,
@@ -46,12 +51,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="use the precomputed-spatial-facts CE mode")
     parser.add_argument("--kml", metavar="PATH",
                         help="export the final window synopsis as KML")
+    parser.add_argument("--metrics-json", metavar="PATH",
+                        help="enable metrics collection and write the "
+                             "observability report (p50/p95 per phase, "
+                             "events/sec, compression) to PATH")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Run the demo; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.metrics_json:
+        # A fresh scoped registry: repeated in-process runs don't bleed
+        # metrics into each other, and the global one stays untouched.
+        with obs.activate(obs.MetricsRegistry()):
+            return _run(args)
+    return _run(args)
+
+
+def _run(args: argparse.Namespace) -> int:
     world = build_aegean_world()
     simulator = FleetSimulator(
         world, seed=args.seed, duration_seconds=int(args.hours * 3600)
@@ -99,6 +117,24 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.kml, "w", encoding="utf-8") as handle:
             handle.write(system.export_kml())
         print(f"\nKML written to {args.kml}")
+
+    if args.metrics_json:
+        from repro.obs.report import build_pipeline_report, write_report
+
+        report = build_pipeline_report(
+            system,
+            obs.get_registry(),
+            config={
+                "vessels": args.vessels,
+                "hours": args.hours,
+                "seed": args.seed,
+                "window_hours": args.window_hours,
+                "slide_minutes": args.slide_minutes,
+                "spatial_facts": args.spatial_facts,
+            },
+        )
+        write_report(report, args.metrics_json)
+        print(f"\nmetrics report written to {args.metrics_json}")
     return 0
 
 

@@ -7,9 +7,9 @@ recognized complex events as :class:`Alert` records for "real-time
 decision-making" by the marine authorities.
 """
 
-import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.maritime.adapter import MovementEventAdapter
 from repro.maritime.config import MaritimeConfig
 from repro.maritime.definitions import (
@@ -93,13 +93,14 @@ class MaritimeRecognizer:
                 self.config.close_threshold_meters,
                 arrival_time,
             )
+        obs.count("recognition.ingested_events", count)
         return count
 
     def step(self, query_time: int) -> RecognitionResult:
         """Run recognition at a query time, recording wall-clock cost."""
-        started = time.perf_counter()
-        result = self.engine.step(query_time)
-        self.last_step_seconds = time.perf_counter() - started
+        with obs.timed_span("recognition.step") as span:
+            result = self.engine.step(query_time)
+        self.last_step_seconds = span.seconds
         return result
 
     def alerts(self, result: RecognitionResult | None = None) -> list[Alert]:

@@ -12,6 +12,7 @@ property Hermes exploits to keep update costs low.
 import sqlite3
 from collections.abc import Iterable
 
+from repro import obs
 from repro.mod.schema import SCHEMA_STATEMENTS
 from repro.reconstruct.trips import Trip, TripSegmenter
 from repro.simulator.vessel import VesselSpec
@@ -93,6 +94,10 @@ class MovingObjectDatabase:
 
     def stage_points(self, points: list[CriticalPoint]) -> int:
         """Append a batch of delta critical points to the staging table."""
+        with obs.span("mod.stage_points"):
+            return self._stage_points(points)
+
+    def _stage_points(self, points: list[CriticalPoint]) -> int:
         rows = [
             (
                 point.mmsi,
@@ -113,6 +118,7 @@ class MovingObjectDatabase:
             rows,
         )
         self._connection.commit()
+        obs.count("mod.staged_points", len(rows))
         return len(rows)
 
     def staged_count(self) -> int:
@@ -146,6 +152,10 @@ class MovingObjectDatabase:
         loading trips are accumulated under ``"reconstruction"`` and
         ``"loading"`` — the phase split of Figure 10.
         """
+        with obs.span("mod.reconstruct"):
+            return self._reconstruct(timings)
+
+    def _reconstruct(self, timings: dict | None = None) -> int:
         import time as _time
 
         cursor = self._connection.execute("SELECT DISTINCT mmsi FROM staging")
@@ -182,6 +192,9 @@ class MovingObjectDatabase:
                 timings.get("reconstruction", 0.0) + reconstruction_seconds
             )
             timings["loading"] = timings.get("loading", 0.0) + loading_seconds
+        obs.observe("mod.reconstruct.segmentation_seconds", reconstruction_seconds)
+        obs.observe("mod.reconstruct.loading_seconds", loading_seconds)
+        obs.count("mod.trips_loaded", new_trips)
         return new_trips
 
     def _insert_trip(self, trip: Trip) -> None:

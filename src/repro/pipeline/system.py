@@ -13,10 +13,16 @@ Per window slide, :meth:`SurveillanceSystem.process_slide`:
 
 timing each phase.  Call :meth:`finalize` at end-of-stream to flush open
 stops and drain the synopsis into the archive.
+
+Phases are timed with :mod:`repro.obs` spans.  The measured seconds always
+feed :class:`~repro.pipeline.metrics.PhaseTimings` and the
+:class:`~repro.pipeline.metrics.SlideReport` (as before); when the global
+metrics registry is enabled each phase additionally lands in a
+``pipeline.phase.<name>`` histogram (per-slide p50/p95/p99) plus stream
+counters, which is what ``--metrics-json`` and the bench harness report.
 """
 
-import time
-
+from repro import obs
 from repro.ais.stream import PositionalTuple
 from repro.maritime.recognizer import Alert, MaritimeRecognizer
 from repro.mod.database import MovingObjectDatabase
@@ -68,34 +74,39 @@ class SurveillanceSystem:
         """Process one slide's worth of arrivals; returns the slide report."""
         slide_timings: dict[str, float] = {}
 
-        started = time.perf_counter()
-        events = self.tracker.process_batch(batch)
-        fresh, expired = self.compressor.slide(
-            events, query_time, raw_position_count=len(batch)
-        )
-        slide_timings["tracking"] = time.perf_counter() - started
+        with obs.timed_span("pipeline.slide"):
+            with obs.timed_span("tracking") as phase:
+                events = self.tracker.process_batch(batch)
+                fresh, expired = self.compressor.slide(
+                    events, query_time, raw_position_count=len(batch)
+                )
+            slide_timings["tracking"] = phase.seconds
 
-        started = time.perf_counter()
-        if expired:
-            self.database.stage_points(expired)
-        slide_timings["staging"] = time.perf_counter() - started
+            with obs.timed_span("staging") as phase:
+                if expired:
+                    self.database.stage_points(expired)
+            slide_timings["staging"] = phase.seconds
 
-        slide_timings["reconstruction"] = 0.0
-        slide_timings["loading"] = 0.0
-        if self.config.reconstruct_each_slide and expired:
-            self.database.reconstruct(slide_timings)
+            slide_timings["reconstruction"] = 0.0
+            slide_timings["loading"] = 0.0
+            if self.config.reconstruct_each_slide and expired:
+                self.database.reconstruct(slide_timings)
 
-        recognized = 0
-        alerts: tuple = ()
-        if self.config.enable_recognition:
-            started = time.perf_counter()
-            self.recognizer.ingest(events, arrival_time=query_time)
-            result = self.recognizer.step(query_time)
-            slide_timings["recognition"] = time.perf_counter() - started
-            recognized = result.complex_event_count()
-            alerts = tuple(self.recognizer.alerts(result))
+            recognized = 0
+            alerts: tuple = ()
+            if self.config.enable_recognition:
+                with obs.timed_span("recognition") as phase:
+                    self.recognizer.ingest(events, arrival_time=query_time)
+                    result = self.recognizer.step(query_time)
+                slide_timings["recognition"] = phase.seconds
+                recognized = result.complex_event_count()
+                alerts = tuple(self.recognizer.alerts(result))
 
         self.timings.record(slide_timings)
+        self._record_slide_metrics(
+            slide_timings, len(batch), len(events), len(fresh), len(expired),
+            recognized,
+        )
         self._last_query_time = query_time
         return SlideReport(
             query_time=query_time,
@@ -107,6 +118,33 @@ class SurveillanceSystem:
             alerts=alerts,
             timings=slide_timings,
         )
+
+    def _record_slide_metrics(
+        self,
+        slide_timings: dict[str, float],
+        raw_positions: int,
+        movement_events: int,
+        fresh: int,
+        expired: int,
+        recognized: int,
+    ) -> None:
+        """Feed one slide's numbers into the global metrics registry."""
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return
+        for phase, seconds in slide_timings.items():
+            registry.observe(f"pipeline.phase.{phase}", seconds)
+        registry.inc("pipeline.slides")
+        registry.inc("pipeline.raw_positions", raw_positions)
+        registry.inc("pipeline.movement_events", movement_events)
+        registry.inc("pipeline.fresh_critical_points", fresh)
+        registry.inc("pipeline.expired_critical_points", expired)
+        registry.inc("pipeline.recognized_complex_events", recognized)
+        registry.set_gauge(
+            "pipeline.compression_ratio",
+            self.compressor.statistics.compression_ratio,
+        )
+        registry.set_gauge("pipeline.vessels_tracked", self.tracker.vessel_count())
 
     def finalize(self) -> SlideReport | None:
         """Flush open long-lasting events and archive the whole synopsis.

@@ -13,6 +13,7 @@ between memory and disk.
 
 from collections import defaultdict
 
+from repro import obs
 from repro.tracking.types import CriticalPoint
 
 
@@ -29,6 +30,7 @@ class StagingArea:
         for point in points:
             self._pending[point.mmsi].append(point)
         self.total_staged += len(points)
+        obs.count("reconstruct.staged_points", len(points))
         return len(points)
 
     def pending_count(self) -> int:
@@ -53,8 +55,11 @@ class StagingArea:
         else:
             keys = list(self._pending)
         drained: dict[int, list[CriticalPoint]] = {}
+        drained_total = 0
         for key in keys:
             points = sorted(self._pending.pop(key), key=lambda p: p.timestamp)
             drained[key] = points
-            self.total_drained += len(points)
+            drained_total += len(points)
+        self.total_drained += drained_total
+        obs.count("reconstruct.drained_points", drained_total)
         return drained

@@ -16,6 +16,7 @@ incorporates delayed events, as in Figure 5.
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.rtec.intervals import (
     Interval,
     OPEN,
@@ -205,33 +206,43 @@ class RTEC:
 
     def step(self, query_time: int) -> RecognitionResult:
         """Run recognition at a query time; returns the recognized CEs."""
-        window_start = query_time - self.window_seconds
-        self.working_memory.forget_before(window_start)
+        with obs.span("rtec.step"):
+            return self._step(query_time)
 
-        fluent_store: FluentStore = {}
-        event_store: EventStore = {}
-        for functor in self.working_memory.event_functors():
-            occurrences = self.working_memory.events_in_window(
-                functor, window_start, query_time
-            )
-            if occurrences:
-                event_store[functor] = [(o.args, o.time) for o in occurrences]
+    def _step(self, query_time: int) -> RecognitionResult:
+        window_start = query_time - self.window_seconds
+        with obs.span("rtec.windowing"):
+            self.working_memory.forget_before(window_start)
+
+            fluent_store: FluentStore = {}
+            event_store: EventStore = {}
+            input_events = 0
+            for functor in self.working_memory.event_functors():
+                occurrences = self.working_memory.events_in_window(
+                    functor, window_start, query_time
+                )
+                if occurrences:
+                    event_store[functor] = [(o.args, o.time) for o in occurrences]
+                    input_events += len(occurrences)
+        obs.count("rtec.input_events", input_events)
 
         view = EngineView(
             window_start, query_time, fluent_store, event_store, self.working_memory
         )
         context = _EvalContext(self, view)
 
-        for functor in self._evaluation_order():
-            if functor in self._computed:
-                fluent_store[functor] = self._computed[functor].compute(view)
-            elif functor in self._event_rules:
-                occurrences = self._derive_event(functor, context)
-                if occurrences:
-                    event_store.setdefault(functor, []).extend(occurrences)
-                    event_store[functor].sort(key=lambda item: item[1])
-            else:
-                fluent_store[functor] = self._derive_fluent(functor, context)
+        with obs.span("rtec.evaluation"):
+            for functor in self._evaluation_order():
+                if functor in self._computed:
+                    fluent_store[functor] = self._computed[functor].compute(view)
+                elif functor in self._event_rules:
+                    occurrences = self._derive_event(functor, context)
+                    if occurrences:
+                        event_store.setdefault(functor, []).extend(occurrences)
+                        event_store[functor].sort(key=lambda item: item[1])
+                else:
+                    fluent_store[functor] = self._derive_fluent(functor, context)
+        obs.count("rtec.steps")
 
         result = RecognitionResult(query_time, window_start)
         report_fluents = self._outputs_fluents or (

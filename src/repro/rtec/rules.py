@@ -29,7 +29,10 @@ Example — rule-set (3) of the paper::
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
-from repro.rtec.terms import Var, pattern_variables
+# Var is re-exported: rule authors write patterns like ``(Var("Area"),)``
+# next to the combinators defined here (see the module docstring).
+from repro.rtec.terms import Var as Var
+from repro.rtec.terms import pattern_variables
 
 #: Name of the implicit time variable every rule binds.
 TIME_VARIABLE = "T"

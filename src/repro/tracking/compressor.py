@@ -10,6 +10,7 @@ maintains the per-vessel synopsis within the sliding window.  Expired
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.tracking.types import (
     CRITICAL_EVENT_TYPES,
     CriticalPoint,
@@ -54,12 +55,18 @@ class Compressor:
         the delta points that fell out of the window range and should move to
         the staging area.
         """
-        fresh = merge_events_into_critical_points(events)
-        if raw_position_count is not None:
-            self.statistics.raw_positions += raw_position_count
-        self.statistics.critical_points += len(fresh)
-        self.window.add(fresh)
-        expired = self.window.slide_to(query_time)
+        with obs.span("tracking.compressor.slide"):
+            fresh = merge_events_into_critical_points(events)
+            if raw_position_count is not None:
+                self.statistics.raw_positions += raw_position_count
+            self.statistics.critical_points += len(fresh)
+            self.window.add(fresh)
+            expired = self.window.slide_to(query_time)
+        obs.count("tracking.fresh_critical_points", len(fresh))
+        obs.count("tracking.expired_critical_points", len(expired))
+        obs.set_gauge(
+            "tracking.compression_ratio", self.statistics.compression_ratio
+        )
         return fresh, expired
 
     def synopsis(self, mmsi: int | None = None) -> list[CriticalPoint]:

@@ -21,6 +21,7 @@ import math
 from collections import deque
 from collections.abc import Iterable
 
+from repro import obs
 from repro.ais.stream import PositionalTuple
 from repro.geo.haversine import (
     haversine_meters,
@@ -175,10 +176,16 @@ class MobilityTracker:
         self, positions: Iterable[PositionalTuple]
     ) -> list[MovementEvent]:
         """Process a batch of tuples (one window slide worth of arrivals)."""
-        events: list[MovementEvent] = []
-        for position in positions:
-            events.extend(self.process(position))
-        return events
+        with obs.span("tracking.process_batch"):
+            seen_before = self.statistics.positions_seen
+            events: list[MovementEvent] = []
+            for position in positions:
+                events.extend(self.process(position))
+            obs.count(
+                "tracking.positions", self.statistics.positions_seen - seen_before
+            )
+            obs.count("tracking.movement_events", len(events))
+            return events
 
     def finalize(self) -> list[MovementEvent]:
         """Close open long-lasting events at end-of-stream."""

@@ -1,0 +1,132 @@
+"""Tests for the metrics registry instruments."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.registry import Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_keeps_last_write(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("ratio")
+        gauge.set(0.5)
+        gauge.set(0.94)
+        assert gauge.value == 0.94
+
+
+class TestHistogramQuantiles:
+    def test_exact_quantiles_under_capacity(self):
+        histogram = Histogram("latency")
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        assert histogram.min == 1.0
+        assert histogram.max == 100.0
+        assert histogram.mean == pytest.approx(50.5)
+        assert histogram.quantile(0.50) == pytest.approx(50.5)
+        assert histogram.quantile(0.95) == pytest.approx(95.05)
+        assert histogram.quantile(0.99) == pytest.approx(99.01)
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 100.0
+
+    def test_empty_histogram(self):
+        histogram = Histogram("empty")
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.mean == 0.0
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["p95"] == 0.0
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("x").quantile(1.5)
+
+    def test_decimation_keeps_exact_aggregates(self):
+        histogram = Histogram("big", capacity=64)
+        n = 10_000
+        for value in range(n):
+            histogram.observe(float(value))
+        assert histogram.count == n
+        assert histogram.total == pytest.approx(n * (n - 1) / 2)
+        assert histogram.min == 0.0
+        assert histogram.max == float(n - 1)
+        # Reservoir stays bounded and quantiles stay representative.
+        assert len(histogram._samples) < 2 * 64
+        assert histogram.quantile(0.5) == pytest.approx(n / 2, rel=0.1)
+
+    def test_decimation_is_deterministic(self):
+        def build():
+            histogram = Histogram("d", capacity=32)
+            for value in range(1000):
+                histogram.observe(float(value % 97))
+            return histogram.summary()
+
+        assert build() == build()
+
+    def test_summary_quantile_labels(self):
+        histogram = Histogram("s")
+        histogram.observe(1.0)
+        summary = histogram.summary()
+        assert {"count", "total", "mean", "min", "max", "p50", "p95", "p99"} \
+            <= set(summary)
+
+
+class TestDisabledRegistry:
+    def test_helpers_are_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.inc("c", 5)
+        registry.set_gauge("g", 1.0)
+        registry.observe("h", 0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+
+    def test_direct_instruments_still_work(self):
+        # Tests may poke instruments explicitly even when recording is off.
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc()
+        assert registry.counter("c").value == 1.0
+
+
+class TestSnapshot:
+    def test_sections_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.inc("b.counter")
+        registry.inc("a.counter", 2)
+        registry.set_gauge("ratio", 0.9)
+        registry.observe("lat", 0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a.counter", "b.counter"]
+        assert snapshot["counters"]["a.counter"] == 2.0
+        assert snapshot["gauges"]["ratio"] == 0.9
+        assert snapshot["histograms"]["lat"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        with registry.span("s"):
+            pass
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["spans"] == {}

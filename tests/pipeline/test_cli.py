@@ -37,3 +37,28 @@ class TestMain:
         assert "Number of trips between ports" in output
         assert kml_path.exists()
         assert "<kml" in kml_path.read_text()
+
+    def test_metrics_json_run(self, capsys, tmp_path):
+        import json
+
+        from repro import obs
+
+        metrics_path = tmp_path / "metrics.json"
+        exit_code = main(
+            [
+                "--vessels", "6",
+                "--hours", "1",
+                "--slide-minutes", "15",
+                "--window-hours", "1",
+                "--metrics-json", str(metrics_path),
+            ]
+        )
+        assert exit_code == 0
+        assert "metrics report written" in capsys.readouterr().out
+        report = json.loads(metrics_path.read_text())
+        assert report["schema"] == "repro.obs/pipeline-v1"
+        assert report["config"]["vessels"] == 6
+        assert "tracking" in report["phases"]
+        assert report["throughput"]["events_per_sec"] > 0
+        # The scoped registry must not leak into the global one.
+        assert not obs.is_enabled()
