@@ -175,6 +175,7 @@ def run_pipeline_benchmark(
     duration: int = DURATION_SECONDS,
     window: WindowSpec | None = None,
     json_path: Path | str | None = None,
+    shards: int | None = None,
 ) -> dict:
     """Replay the *whole* pipeline under a fresh metrics registry.
 
@@ -186,13 +187,28 @@ def run_pipeline_benchmark(
     report is also written there; ``python benchmarks/harness.py`` writes
     it to :data:`BENCH_PIPELINE_PATH` so every PR can refresh the
     repo-root perf trajectory.
+
+    ``shards`` selects the execution runtime: ``None`` (default) runs the
+    in-process :class:`SurveillanceSystem`; any explicit count — including
+    ``1`` — runs :class:`~repro.runtime.ParallelSurveillanceSystem` with
+    that many worker processes, so a 1-shard run measures the runtime's
+    IPC floor.  Outputs are identical either way; only the timings and the
+    report's ``runtime`` section change.
     """
     window = window or WindowSpec.of_minutes(120, 30)
     _, specs, stream = benchmark_fleet(fleet_size, duration)
     with obs.activate(obs.MetricsRegistry()) as registry:
-        system = SurveillanceSystem(
-            benchmark_world(), specs, SystemConfig(window=window)
-        )
+        if shards is not None:
+            from repro.runtime import ParallelSurveillanceSystem
+
+            system = ParallelSurveillanceSystem(
+                benchmark_world(), specs, SystemConfig(window=window),
+                shards=shards,
+            )
+        else:
+            system = SurveillanceSystem(
+                benchmark_world(), specs, SystemConfig(window=window)
+            )
         replayer = StreamReplayer(
             [TimedArrival(p.timestamp, p) for p in stream],
             window.slide_seconds,
@@ -210,11 +226,58 @@ def run_pipeline_benchmark(
                 "window_range_seconds": window.range_seconds,
                 "window_slide_seconds": window.slide_seconds,
                 "seed": 2015,
+                "shards": shards or 1,
             },
         )
+        if shards is not None:
+            system.close()
     if json_path is not None:
         write_report(report, json_path)
     return report
+
+
+def run_shard_sweep(
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    fleet_size: int = FLEET_SIZE,
+    duration: int = DURATION_SECONDS,
+    window: WindowSpec | None = None,
+) -> dict:
+    """Pipeline throughput under the process-parallel runtime, per shard count.
+
+    Every shard count — *including 1* — runs on the sharded runtime, so
+    the speedup column isolates parallelism from IPC overhead: it divides
+    each run's processing time into the 1-shard *runtime* baseline (the
+    single-process system's figure is reported separately as
+    ``single_process_seconds``).  Returns the ``shard_sweep`` section that
+    ``python benchmarks/harness.py --shard-sweep`` embeds in
+    ``BENCH_pipeline.json``.
+    """
+    single = run_pipeline_benchmark(fleet_size, duration, window, shards=None)
+    runs = [
+        (count, run_pipeline_benchmark(fleet_size, duration, window,
+                                       shards=count))
+        for count in shard_counts
+    ]
+    by_count = dict(runs)
+    baseline = by_count.get(1, runs[0][1])
+    baseline_seconds = baseline["throughput"]["processing_seconds"]
+    entries = []
+    for count, report in runs:
+        seconds = report["throughput"]["processing_seconds"]
+        entries.append({
+            "shards": count,
+            "processing_seconds": seconds,
+            "positions_per_sec": report["throughput"]["positions_per_sec"],
+            "speedup_vs_1shard": (
+                baseline_seconds / seconds if seconds > 0 else 0.0
+            ),
+            "restarts": report.get("runtime", {}).get("restarts", 0),
+        })
+    return {
+        "shard_counts": list(shard_counts),
+        "single_process_seconds": single["throughput"]["processing_seconds"],
+        "runs": entries,
+    }
 
 
 def record_result(name: str, lines: list[str]) -> Path:
@@ -232,9 +295,37 @@ def record_result(name: str, lines: list[str]) -> Path:
 
 
 if __name__ == "__main__":
-    bench_report = run_pipeline_benchmark(json_path=BENCH_PIPELINE_PATH)
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="End-to-end pipeline benchmark (writes BENCH_pipeline.json)"
+    )
+    parser.add_argument("--fleet-size", type=int, default=FLEET_SIZE,
+                        help=f"vessels in the benchmark fleet "
+                             f"(default: {FLEET_SIZE})")
+    parser.add_argument("--duration-hours", type=float,
+                        default=DURATION_SECONDS / 3600,
+                        help="simulated hours of traffic (default: 24)")
+    parser.add_argument("--shard-sweep", action="store_true",
+                        help="also run the process-parallel runtime at 1/2/4 "
+                             "shards and record speedups vs the 1-shard "
+                             "runtime baseline")
+    parser.add_argument("--json-path", default=BENCH_PIPELINE_PATH,
+                        help="where to write the report "
+                             "(default: repo-root BENCH_pipeline.json)")
+    cli = parser.parse_args()
+    duration_seconds = int(cli.duration_hours * 3600)
+
+    bench_report = run_pipeline_benchmark(
+        fleet_size=cli.fleet_size, duration=duration_seconds
+    )
+    if cli.shard_sweep:
+        bench_report["shard_sweep"] = run_shard_sweep(
+            fleet_size=cli.fleet_size, duration=duration_seconds
+        )
+    write_report(bench_report, cli.json_path)
     throughput = bench_report["throughput"]
-    print(f"BENCH_pipeline written to {BENCH_PIPELINE_PATH}")
+    print(f"BENCH_pipeline written to {cli.json_path}")
     print(
         f"  slides={bench_report['slides']}  "
         f"positions/s={throughput['positions_per_sec']:.0f}  "
@@ -246,3 +337,11 @@ if __name__ == "__main__":
             f"  {phase_name:>14}: p50={stats['p50_ms']:.2f}ms "
             f"p95={stats['p95_ms']:.2f}ms mean={stats['mean_ms']:.2f}ms"
         )
+    if cli.shard_sweep:
+        for entry in bench_report["shard_sweep"]["runs"]:
+            print(
+                f"  shards={entry['shards']}: "
+                f"{entry['processing_seconds']:.2f}s  "
+                f"{entry['positions_per_sec']:.0f} pos/s  "
+                f"speedup={entry['speedup_vs_1shard']:.2f}x"
+            )

@@ -4,7 +4,8 @@ Usage::
 
     python -m repro [--vessels N] [--hours H] [--seed S]
                     [--window-hours W] [--slide-minutes B]
-                    [--spatial-facts] [--kml PATH] [--metrics-json PATH]
+                    [--spatial-facts] [--shards N] [--checkpoint-dir PATH]
+                    [--kml PATH] [--metrics-json PATH]
 
 Simulates a mixed fleet, runs the full pipeline, streams alerts to stdout
 as they are recognized, and prints the end-of-run summary (compression,
@@ -13,6 +14,11 @@ metrics registry is enabled for the run and a machine-readable report
 (per-phase p50/p95 latencies, events/sec throughput, compression ratio,
 full registry snapshot) is written to the given path — see
 docs/OBSERVABILITY.md for the format.
+
+``--shards N`` with ``N > 1`` runs the same pipeline on the sharded,
+process-parallel runtime (:class:`repro.runtime.ParallelSurveillanceSystem`)
+— identical alerts and synopses, with per-shard runtime metrics added to
+the report; see docs/RUNTIME.md.
 """
 
 import argparse
@@ -49,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="window slide beta (default: 30)")
     parser.add_argument("--spatial-facts", action="store_true",
                         help="use the precomputed-spatial-facts CE mode")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="worker shards; >1 selects the process-parallel "
+                             "runtime (default: 1, single-process)")
+    parser.add_argument("--checkpoint-dir", metavar="PATH",
+                        help="shard checkpoint directory (with --shards > 1; "
+                             "default: a private temporary directory)")
     parser.add_argument("--kml", metavar="PATH",
                         help="export the final window synopsis as KML")
     parser.add_argument("--metrics-json", metavar="PATH",
@@ -80,12 +92,22 @@ def _run(args: argparse.Namespace) -> int:
         window=WindowSpec.of_minutes(args.window_hours * 60, args.slide_minutes),
         spatial_facts=args.spatial_facts,
     )
-    system = SurveillanceSystem(world, specs, config)
+    if args.shards > 1:
+        from repro.runtime import ParallelSurveillanceSystem
+
+        system = ParallelSurveillanceSystem(
+            world, specs, config,
+            shards=args.shards,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+    else:
+        system = SurveillanceSystem(world, specs, config)
     stream = simulator.positions(fleet)
+    sharding = f", {args.shards} shards" if args.shards > 1 else ""
     print(
         f"simulating {len(fleet)} vessels / {len(stream)} positions over "
         f"{args.hours:g} h (omega={args.window_hours:g} h, "
-        f"beta={args.slide_minutes:g} min)"
+        f"beta={args.slide_minutes:g} min{sharding})"
     )
 
     replayer = StreamReplayer(
@@ -131,10 +153,13 @@ def _run(args: argparse.Namespace) -> int:
                 "window_hours": args.window_hours,
                 "slide_minutes": args.slide_minutes,
                 "spatial_facts": args.spatial_facts,
+                "shards": args.shards,
             },
         )
         write_report(report, args.metrics_json)
         print(f"\nmetrics report written to {args.metrics_json}")
+    if args.shards > 1:
+        system.close()
     return 0
 
 

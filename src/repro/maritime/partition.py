@@ -8,10 +8,23 @@ are forwarded to the appropriate processor (according to vessel location)."
 
 :func:`partition_world` slices the monitored region into longitude bands;
 :class:`PartitionedRecognizer` runs one engine per band, routes each ME by
-its longitude, and reports per-partition recognition times.  In a deployment
-each partition runs on its own processor; here they run sequentially and the
-parallel wall-clock is the maximum over partitions, which is what the
-paper's per-processor measurement reports.
+its longitude, and reports per-partition recognition times.
+
+Two very different "parallel" figures exist, and they must not be
+conflated:
+
+* **Simulated** — :class:`PartitionedRecognizer` runs its engines
+  *sequentially* in one process; the
+  :attr:`PartitionStepTiming.parallel_seconds` it reports is the maximum
+  over partitions, i.e. the wall-clock an ideal deployment *would* see.
+  This matches the paper's per-processor measurement but involves no
+  actual concurrency.
+* **Measured** — under :mod:`repro.runtime`, each band engine runs on its
+  own worker process and
+  :attr:`PartitionStepTiming.measured_parallel_seconds` is the true
+  wall-clock of the concurrent recognition step, inter-process overheads
+  included.  :class:`~repro.runtime.system.ParallelSurveillanceSystem`
+  fills it in on every slide (``last_partition_timing``).
 """
 
 from dataclasses import dataclass
@@ -57,9 +70,17 @@ def partition_world(world: WorldModel, partitions: int) -> list[WorldModel]:
 
 @dataclass
 class PartitionStepTiming:
-    """Per-partition recognition cost of one query step."""
+    """Per-partition recognition cost of one query step.
+
+    ``measured_parallel_seconds`` stays ``None`` when the partitions ran
+    sequentially in-process (the :class:`PartitionedRecognizer` default);
+    the process-parallel runtime sets it to the real wall-clock of the
+    concurrent step, which includes routing and IPC and therefore upper-
+    bounds the simulated :attr:`parallel_seconds`.
+    """
 
     per_partition_seconds: list[float]
+    measured_parallel_seconds: float | None = None
 
     @property
     def sequential_seconds(self) -> float:
@@ -68,12 +89,19 @@ class PartitionStepTiming:
 
     @property
     def parallel_seconds(self) -> float:
-        """Parallel wall-clock: the slowest partition."""
+        """*Simulated* parallel wall-clock: the slowest partition."""
         return max(self.per_partition_seconds) if self.per_partition_seconds else 0.0
 
 
 class PartitionedRecognizer:
-    """CE recognition over longitude-partitioned engines."""
+    """CE recognition over longitude-partitioned engines.
+
+    The engines run sequentially in the calling process; the "parallel"
+    figure of :meth:`step` is therefore *simulated* (max over partitions).
+    For genuinely concurrent band recognition — with the measured
+    wall-clock reported alongside the simulation — run the pipeline under
+    :class:`repro.runtime.ParallelSurveillanceSystem`.
+    """
 
     def __init__(
         self,

@@ -13,7 +13,8 @@ that ``--metrics-json`` and ``BENCH_pipeline.json`` share::
       "phases": {"tracking": {"p50_ms": ..., "p95_ms": ..., ...}, ...},
       "throughput": {"positions_per_sec": ..., "events_per_sec": ..., ...},
       "compression_ratio": 0.94,
-      "metrics": {... full registry snapshot ...}
+      "metrics": {... full registry snapshot ...},
+      "runtime": {... shards/restarts/stalls, only for sharded runs ...}
     }
 
 ``phases`` keys follow :data:`repro.pipeline.metrics.PHASES`;
@@ -78,7 +79,7 @@ def build_pipeline_report(system, registry, config: dict | None = None) -> dict:
     def rate(total: float) -> float:
         return total / processing_seconds if processing_seconds > 0 else 0.0
 
-    return {
+    report = {
         "schema": SCHEMA,
         "config": dict(config or {}),
         "slides": system.timings.slides,
@@ -94,6 +95,47 @@ def build_pipeline_report(system, registry, config: dict | None = None) -> dict:
         },
         "compression_ratio": statistics.compression_ratio,
         "metrics": registry.snapshot(),
+    }
+    runtime = _runtime_summary(registry)
+    if runtime:
+        report["runtime"] = runtime
+    return report
+
+
+def _runtime_summary(registry) -> dict:
+    """Condense the process-parallel runtime's instruments, if any ran.
+
+    Present only for :class:`repro.runtime.ParallelSurveillanceSystem`
+    runs: shard count, supervisor restarts, backpressure stalls, and the
+    per-shard tracking/recognition latency summaries recorded from the
+    workers' own measurements (IPC excluded — the inclusive figures are
+    the ``pipeline.phase.*`` histograms).
+    """
+    gauges = {name: g.value for name, g in registry._gauges.items()}
+    if "runtime.shards" not in gauges:
+        return {}
+    counters = {name: c.value for name, c in registry._counters.items()}
+    shards = int(gauges["runtime.shards"])
+    per_shard = {}
+    for shard_id in range(shards):
+        prefix = f"runtime.shard.{shard_id}."
+        entry = {}
+        for phase in ("tracking", "recognition"):
+            histogram = registry._histograms.get(prefix + phase)
+            if histogram is not None:
+                entry[phase] = _phase_summary(histogram)
+        entry["restarts"] = int(counters.get(prefix + "restarts", 0))
+        entry["backpressure_stalls"] = int(
+            counters.get(prefix + "backpressure_stalls", 0)
+        )
+        per_shard[str(shard_id)] = entry
+    return {
+        "shards": shards,
+        "restarts": int(counters.get("runtime.restarts", 0)),
+        "backpressure_stalls": int(
+            counters.get("runtime.backpressure_stalls", 0)
+        ),
+        "per_shard": per_shard,
     }
 
 

@@ -1,0 +1,90 @@
+"""Atomic per-shard checkpoints for crash recovery.
+
+Each worker periodically pickles its full mutable state — tracker,
+compressor (window synopsis included), recognition working memory and the
+engine's open-interval persistence — together with a *stream cursor*: the
+sequence number of the last command applied before the snapshot.  The
+supervisor restarts a crashed worker from its latest checkpoint and replays
+only the commands issued after the cursor, giving exactly-once application
+(no lost and no duplicated critical points).
+
+Writes are atomic: the pickle lands in a temporary file first and is then
+``os.replace``d over the shard's checkpoint path, so a crash *during* a
+checkpoint leaves the previous one intact.  A truncated or unreadable file
+is treated as "no checkpoint" rather than an error.
+"""
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class ShardCheckpoint:
+    """One recovered snapshot: the cursor plus the pickled shard state."""
+
+    shard_id: int
+    cursor: int
+    state: dict
+
+
+class CheckpointStore:
+    """Filesystem-backed store of the latest checkpoint per shard."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, shard_id: int) -> Path:
+        """Where shard ``shard_id`` keeps its latest checkpoint."""
+        return self.directory / f"shard-{shard_id:03d}.ckpt"
+
+    def save(self, shard_id: int, cursor: int, state: dict) -> Path:
+        """Atomically persist a shard snapshot; returns the final path."""
+        payload = pickle.dumps(
+            {"shard_id": shard_id, "cursor": cursor, "state": state},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        final = self.path_for(shard_id)
+        handle, tmp_name = tempfile.mkstemp(
+            prefix=final.name + ".", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                tmp.write(payload)
+                tmp.flush()
+                os.fsync(tmp.fileno())
+            os.replace(tmp_name, final)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return final
+
+    def load(self, shard_id: int) -> ShardCheckpoint | None:
+        """The latest checkpoint of a shard, or ``None`` if unusable."""
+        path = self.path_for(shard_id)
+        try:
+            with open(path, "rb") as handle:
+                snapshot = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        if snapshot.get("shard_id") != shard_id or "state" not in snapshot:
+            return None
+        return ShardCheckpoint(
+            shard_id=shard_id,
+            cursor=int(snapshot["cursor"]),
+            state=snapshot["state"],
+        )
+
+    def clear(self, shard_id: int | None = None) -> None:
+        """Delete one shard's checkpoint, or every checkpoint."""
+        if shard_id is not None:
+            self.path_for(shard_id).unlink(missing_ok=True)
+            return
+        for path in self.directory.glob("shard-*.ckpt"):
+            path.unlink(missing_ok=True)

@@ -1,0 +1,150 @@
+"""Deterministic routing of streams onto shards (Section 5.2 topology).
+
+The runtime partitions work along two independent axes:
+
+* **Tracking/compression** shards by *vessel*: the Mobility Tracker and the
+  Compressor keep strictly per-MMSI state, so hashing the MMSI spreads the
+  fleet across workers while preserving each vessel's arrival order.  The
+  hash is an explicit multiplicative mix — never Python's salted ``hash`` —
+  so routing is identical across processes and interpreter runs.
+* **Recognition** shards by *longitude band*, reusing
+  :func:`repro.maritime.partition.partition_world`: each band owns the
+  areas whose centroid falls inside it, and receives every movement event
+  that could possibly match one of those areas.  "The input MEs are
+  forwarded to the appropriate processor (according to vessel location)."
+
+Band routing is *envelope-based*: an event is forwarded to a band when its
+longitude falls inside the band's acceptance envelope — the union of the
+band's area bounding boxes expanded by the ``close`` threshold (areas may
+well spill over the band edge that contains their centroid).  This makes
+band-parallel recognition exact, not approximate: every rule in the
+maritime event description joins the triggering event's coordinates against
+the band's own areas, so a band that sees all events within its envelope
+derives precisely the complex events a single engine would derive for its
+areas, and the union over (disjoint) bands equals the single-engine result.
+Events outside every envelope cannot match any area; they are routed to
+the raw band containing their longitude so per-band input counts stay
+meaningful.
+"""
+
+from repro.ais.stream import PositionalTuple
+from repro.maritime.partition import partition_world
+from repro.simulator.world import WorldModel
+from repro.tracking.types import MovementEvent
+
+#: Knuth's multiplicative constant (2^32 / phi), for MMSI mixing.
+_MIX = 2654435761
+_MASK = 0xFFFFFFFF
+
+
+def shard_for_mmsi(mmsi: int, shards: int) -> int:
+    """The tracking shard owning a vessel; deterministic across processes."""
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return ((mmsi * _MIX) & _MASK) % shards
+
+
+class ShardRouter:
+    """Route positional tuples to tracking shards and MEs to bands.
+
+    Parameters
+    ----------
+    world:
+        The monitored region; its longitude span defines the bands.
+    shards:
+        Number of workers; tracking shard count and band count coincide
+        (worker *i* runs tracking shard *i* and recognition band *i*).
+    close_margin_meters:
+        How far outside an area's bounding box an event may still satisfy
+        the ``close`` predicate; the acceptance envelopes expand by this.
+    """
+
+    def __init__(
+        self,
+        world: WorldModel,
+        shards: int,
+        close_margin_meters: float = 0.0,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.world = world
+        self.shards = shards
+        self.bands = partition_world(world, shards)
+        #: Per-band acceptance envelopes as (min_lon, max_lon) intervals.
+        self.envelopes: list[list[tuple[float, float]]] = []
+        for band in self.bands:
+            intervals = []
+            for area in band.areas:
+                bbox = area.polygon.bbox
+                if close_margin_meters > 0.0:
+                    bbox = bbox.expanded(close_margin_meters)
+                intervals.append((bbox.min_lon, bbox.max_lon))
+            self.envelopes.append(_merge_intervals(intervals))
+
+    # -- tracking axis ----------------------------------------------------
+
+    def route_positions(
+        self, batch: list[PositionalTuple]
+    ) -> list[list[tuple[int, PositionalTuple]]]:
+        """Split a slide batch into per-shard sub-batches.
+
+        Each position keeps its global index within the batch, so the
+        merge stage can reconstruct the exact single-process event order
+        (see :mod:`repro.runtime.merge`).  Per-vessel arrival order is
+        preserved because the split is a stable filter.
+        """
+        routed: list[list[tuple[int, PositionalTuple]]] = [
+            [] for _ in range(self.shards)
+        ]
+        for index, position in enumerate(batch):
+            routed[shard_for_mmsi(position.mmsi, self.shards)].append(
+                (index, position)
+            )
+        return routed
+
+    # -- recognition axis -------------------------------------------------
+
+    def bands_for_longitude(self, lon: float) -> list[int]:
+        """Every band whose acceptance envelope contains ``lon``."""
+        matched = [
+            index
+            for index, intervals in enumerate(self.envelopes)
+            if any(lo <= lon <= hi for lo, hi in intervals)
+        ]
+        if matched:
+            return matched
+        return [self._raw_band(lon)]
+
+    def route_events(
+        self, events: list[MovementEvent]
+    ) -> list[list[MovementEvent]]:
+        """Fan movement events out to the band workers that may need them.
+
+        An event near a band boundary is forwarded to every band whose
+        envelope covers it (duplicates are harmless: a band only derives
+        CEs for its own areas, and bands hold disjoint area sets).
+        """
+        routed: list[list[MovementEvent]] = [[] for _ in range(self.shards)]
+        for event in events:
+            for band in self.bands_for_longitude(event.lon):
+                routed[band].append(event)
+        return routed
+
+    def _raw_band(self, lon: float) -> int:
+        for index, band in enumerate(self.bands[:-1]):
+            if lon < band.bbox.max_lon:
+                return index
+        return self.shards - 1
+
+
+def _merge_intervals(
+    intervals: list[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Coalesce overlapping (lo, hi) intervals; keeps lookups short."""
+    merged: list[tuple[float, float]] = []
+    for lo, hi in sorted(intervals):
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged

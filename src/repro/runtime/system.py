@@ -1,0 +1,338 @@
+"""The process-parallel surveillance system (Section 5.2, for real).
+
+:class:`ParallelSurveillanceSystem` is a drop-in replacement for
+:class:`~repro.pipeline.system.SurveillanceSystem`: the same
+``process_slide`` / ``finalize`` surface, the same
+:class:`~repro.pipeline.metrics.SlideReport`, the same metrics names
+feeding ``--metrics-json`` — but tracking/compression and CE recognition
+execute on *worker processes* supervised with checkpoint/restart.
+
+Per slide:
+
+1. the :class:`~repro.runtime.shard.ShardRouter` splits the positional
+   batch by MMSI hash and every worker tracks + compresses its sub-batch
+   concurrently;
+2. the per-shard movement events are spliced back into exact
+   single-process order (:mod:`repro.runtime.merge`) and the expired
+   critical points go to the parent-held Moving Object Database;
+3. the merged critical events fan out to the workers' longitude-band
+   recognition engines; the bands' alerts merge into the single-engine
+   report order.
+
+Determinism is a hard invariant, verified by
+``tests/runtime/test_determinism.py``: for any shard count the alerts and
+critical-point streams are identical to the single-process pipeline's.
+
+The MOD, trip reconstruction and the archive stay in the parent — the
+paper keeps the database centralized while distributing recognition, and
+SQLite handles are not shareable across processes anyway.
+"""
+
+import shutil
+import tempfile
+
+from repro import obs
+from repro.ais.stream import PositionalTuple
+from repro.maritime.partition import PartitionStepTiming
+from repro.maritime.recognizer import Alert
+from repro.mod.database import MovingObjectDatabase
+from repro.pipeline.config import SystemConfig
+from repro.pipeline.metrics import PhaseTimings, SlideReport
+from repro.runtime.merge import (
+    merge_alerts,
+    merge_critical_points,
+    merge_finalize_events,
+    merge_tagged_events,
+)
+from repro.runtime.shard import ShardRouter
+from repro.runtime.supervisor import Supervisor
+from repro.simulator.vessel import VesselSpec
+from repro.simulator.world import WorldModel
+from repro.tracking.compressor import CompressionStatistics
+from repro.tracking.exporter import TrajectoryExporter
+from repro.tracking.types import CriticalPoint
+
+
+class _AggregateCompressor:
+    """Fleet-wide compression accounting, summed over the shards.
+
+    Quacks like the ``compressor`` attribute of the single-process system
+    as far as reporting goes (``.statistics``), so
+    :func:`repro.obs.report.build_pipeline_report` and the CLI summary
+    work unchanged against either system.
+    """
+
+    def __init__(self) -> None:
+        self.statistics = CompressionStatistics()
+
+
+class ParallelSurveillanceSystem:
+    """Sharded, supervised, checkpoint-restartable surveillance pipeline.
+
+    Parameters
+    ----------
+    world, specs, config:
+        Exactly as for :class:`~repro.pipeline.system.SurveillanceSystem`.
+    shards:
+        Worker process count; 1 is valid (useful as the IPC-cost baseline
+        of the shard-sweep benchmark).
+    checkpoint_dir:
+        Where shard checkpoints live.  Defaults to a private temporary
+        directory removed on :meth:`close`.
+    checkpoint_every:
+        Checkpoint cadence in slides; lower means cheaper recovery replay
+        but more pickling per slide.
+    """
+
+    def __init__(
+        self,
+        world: WorldModel,
+        specs: dict[int, VesselSpec],
+        config: SystemConfig | None = None,
+        shards: int = 2,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 4,
+        queue_capacity: int = 16,
+        start_method: str | None = None,
+    ):
+        self.world = world
+        self.config = config or SystemConfig()
+        self.shards = shards
+        self.router = ShardRouter(
+            world,
+            shards,
+            close_margin_meters=self.config.maritime.close_threshold_meters,
+        )
+        self.database = MovingObjectDatabase(
+            world.ports, path=self.config.database_path
+        )
+        self.database.load_vessels(specs.values())
+        self.exporter = TrajectoryExporter()
+        self.timings = PhaseTimings()
+        self.compressor = _AggregateCompressor()
+        self._owns_checkpoint_dir = checkpoint_dir is None
+        self.checkpoint_dir = checkpoint_dir or tempfile.mkdtemp(
+            prefix="repro-runtime-"
+        )
+        self.supervisor = Supervisor(
+            worker_args=(world, specs, self.config),
+            shards=shards,
+            checkpoint_dir=self.checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            queue_capacity=queue_capacity,
+            start_method=start_method,
+        )
+        self.supervisor.start()
+        self.last_partition_timing: PartitionStepTiming | None = None
+        self._last_query_time: int | None = None
+        self._last_alerts: list[Alert] = []
+        self._vessels_tracked = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+
+    def process_slide(
+        self, batch: list[PositionalTuple], query_time: int
+    ) -> SlideReport:
+        """Process one slide's arrivals across the shards."""
+        slide_timings: dict[str, float] = {}
+        registry = obs.get_registry()
+
+        with obs.timed_span("pipeline.slide"):
+            with obs.timed_span("tracking") as phase:
+                routed = self.router.route_positions(batch)
+                replies = self.supervisor.request_all(
+                    "track",
+                    [(query_time, routed[i]) for i in range(self.shards)],
+                )
+                events = merge_tagged_events([r["events"] for r in replies])
+                fresh = merge_critical_points([r["fresh"] for r in replies])
+                expired = merge_critical_points([r["expired"] for r in replies])
+            slide_timings["tracking"] = phase.seconds
+            self._vessels_tracked = sum(r["vessels"] for r in replies)
+            for shard_id, reply in enumerate(replies):
+                registry.observe(
+                    f"runtime.shard.{shard_id}.tracking", reply["seconds"]
+                )
+
+            with obs.timed_span("staging") as phase:
+                if expired:
+                    self.database.stage_points(expired)
+            slide_timings["staging"] = phase.seconds
+
+            slide_timings["reconstruction"] = 0.0
+            slide_timings["loading"] = 0.0
+            if self.config.reconstruct_each_slide and expired:
+                self.database.reconstruct(slide_timings)
+
+            recognized = 0
+            alerts: tuple = ()
+            if self.config.enable_recognition:
+                with obs.timed_span("recognition") as phase:
+                    routed_events = self.router.route_events(events)
+                    replies = self.supervisor.request_all(
+                        "recognize",
+                        [
+                            (query_time, routed_events[i])
+                            for i in range(self.shards)
+                        ],
+                    )
+                slide_timings["recognition"] = phase.seconds
+                recognized = sum(r["recognized"] for r in replies)
+                merged = merge_alerts([r["alerts"] for r in replies])
+                self._last_alerts = merged
+                alerts = tuple(merged)
+                self.last_partition_timing = PartitionStepTiming(
+                    per_partition_seconds=[r["step_seconds"] for r in replies],
+                    measured_parallel_seconds=phase.seconds,
+                )
+                for shard_id, reply in enumerate(replies):
+                    registry.observe(
+                        f"runtime.shard.{shard_id}.recognition",
+                        reply["seconds"],
+                    )
+
+        self.compressor.statistics.raw_positions += len(batch)
+        self.compressor.statistics.critical_points += len(fresh)
+        self.timings.record(slide_timings)
+        self._record_slide_metrics(
+            slide_timings, len(batch), len(events), len(fresh), len(expired),
+            recognized,
+        )
+        self._last_query_time = query_time
+        return SlideReport(
+            query_time=query_time,
+            raw_positions=len(batch),
+            movement_events=len(events),
+            fresh_critical_points=len(fresh),
+            expired_critical_points=len(expired),
+            recognized_complex_events=recognized,
+            alerts=alerts,
+            timings=slide_timings,
+        )
+
+    def finalize(self) -> SlideReport | None:
+        """Flush open long-lasting events and archive the whole synopsis."""
+        if self._last_query_time is None:
+            return None
+        query_time = self._last_query_time + self.config.window.slide_seconds
+        replies = self.supervisor.request_all(
+            "finalize_track", [(query_time,) for _ in range(self.shards)]
+        )
+        events = merge_finalize_events([r["events"] for r in replies])
+        fresh = merge_critical_points([r["fresh"] for r in replies])
+        expired = merge_critical_points([r["expired"] for r in replies])
+        remaining = merge_critical_points([r["remaining"] for r in replies])
+        self.database.stage_points(expired + remaining)
+        self.database.reconstruct()
+        recognized = 0
+        alerts: tuple = ()
+        if self.config.enable_recognition:
+            routed_events = self.router.route_events(events)
+            replies = self.supervisor.request_all(
+                "recognize",
+                [(query_time, routed_events[i]) for i in range(self.shards)],
+            )
+            recognized = sum(r["recognized"] for r in replies)
+            merged = merge_alerts([r["alerts"] for r in replies])
+            self._last_alerts = merged
+            alerts = tuple(merged)
+        slide_timings = {"tracking": 0.0, "staging": 0.0, "recognition": 0.0}
+        return SlideReport(
+            query_time=query_time,
+            raw_positions=0,
+            movement_events=len(events),
+            fresh_critical_points=len(fresh),
+            expired_critical_points=len(expired) + len(remaining),
+            recognized_complex_events=recognized,
+            alerts=alerts,
+            timings=slide_timings,
+        )
+
+    def _record_slide_metrics(
+        self,
+        slide_timings: dict[str, float],
+        raw_positions: int,
+        movement_events: int,
+        fresh: int,
+        expired: int,
+        recognized: int,
+    ) -> None:
+        """Mirror the single-process pipeline's per-slide metrics, plus
+        the runtime-specific instruments."""
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return
+        for phase, seconds in slide_timings.items():
+            registry.observe(f"pipeline.phase.{phase}", seconds)
+        registry.inc("pipeline.slides")
+        registry.inc("pipeline.raw_positions", raw_positions)
+        registry.inc("pipeline.movement_events", movement_events)
+        registry.inc("pipeline.fresh_critical_points", fresh)
+        registry.inc("pipeline.expired_critical_points", expired)
+        registry.inc("pipeline.recognized_complex_events", recognized)
+        registry.set_gauge(
+            "pipeline.compression_ratio",
+            self.compressor.statistics.compression_ratio,
+        )
+        registry.set_gauge("pipeline.vessels_tracked", self._vessels_tracked)
+        registry.set_gauge("runtime.shards", self.shards)
+        registry.set_gauge("runtime.restarts_total", self.restart_count())
+
+    # ------------------------------------------------------------------
+    # outputs
+    # ------------------------------------------------------------------
+
+    def current_synopsis(self, mmsi: int | None = None) -> list[CriticalPoint]:
+        """Critical points currently in the shards' sliding windows."""
+        replies = self.supervisor.request_all(
+            "synopsis", [(mmsi,) for _ in range(self.shards)]
+        )
+        return merge_critical_points([r["points"] for r in replies])
+
+    def export_kml(self) -> str:
+        """KML rendering of the current window synopsis."""
+        return self.exporter.to_kml(self.current_synopsis())
+
+    def export_geojson(self) -> dict:
+        """GeoJSON rendering of the current window synopsis."""
+        return self.exporter.to_geojson(self.current_synopsis())
+
+    def alerts(self) -> list[Alert]:
+        """Alerts from the most recent recognition step, fleet-wide."""
+        return list(self._last_alerts)
+
+    def restart_count(self) -> int:
+        """Worker restarts performed by the supervisor so far."""
+        return self.supervisor.restart_count()
+
+    def vessel_count(self) -> int:
+        """Vessels currently tracked across all shards."""
+        return self._vessels_tracked
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers and release checkpoint storage."""
+        if self._closed:
+            return
+        self._closed = True
+        self.supervisor.stop()
+        if self._owns_checkpoint_dir:
+            shutil.rmtree(self.checkpoint_dir, ignore_errors=True)
+
+    def __enter__(self) -> "ParallelSurveillanceSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

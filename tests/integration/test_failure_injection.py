@@ -5,6 +5,7 @@ from repro.ais.stream import (
     DelayModel,
     PositionalTuple,
     StreamReplayer,
+    TimedArrival,
 )
 from repro.maritime import MaritimeRecognizer
 from repro.pipeline import SurveillanceSystem, SystemConfig
@@ -92,6 +93,79 @@ class TestDelayedStreams:
         # The deliberate transponder gap is still recognized despite the
         # random transmission delays.
         assert "illegalShipping" in kinds
+
+
+class TestWorkerCrashRecovery:
+    """Kill a runtime worker mid-slide; the supervisor must restore it
+    from its last checkpoint with no lost and no duplicated output."""
+
+    @staticmethod
+    def _replay(system, small_fleet, poison_slides=()):
+        arrivals = [
+            TimedArrival(p.timestamp, p) for p in small_fleet["stream"]
+        ]
+        transcript = []
+        for index, (query_time, batch) in enumerate(
+            StreamReplayer(arrivals, 1800).batches()
+        ):
+            if index in poison_slides:
+                system.supervisor.inject_failure(index % system.shards)
+            report = system.process_slide(batch, query_time)
+            transcript.append(
+                (
+                    report.query_time,
+                    report.movement_events,
+                    report.fresh_critical_points,
+                    report.expired_critical_points,
+                    [repr(a) for a in report.alerts],
+                )
+            )
+        final = system.finalize()
+        transcript.append(
+            (
+                final.query_time,
+                final.movement_events,
+                final.fresh_critical_points,
+                final.expired_critical_points,
+                [repr(a) for a in final.alerts],
+            )
+        )
+        return transcript
+
+    def test_restart_recovers_without_losing_output(self, world, small_fleet):
+        from repro.runtime import ParallelSurveillanceSystem
+
+        config = SystemConfig(window=WindowSpec.of_hours(2, 0.5))
+        with ParallelSurveillanceSystem(
+            world, small_fleet["specs"], config, shards=2, checkpoint_every=2
+        ) as system:
+            clean = self._replay(system, small_fleet)
+            assert system.restart_count() == 0
+        with ParallelSurveillanceSystem(
+            world, small_fleet["specs"], config, shards=2, checkpoint_every=2
+        ) as system:
+            # Kill a worker twice, mid-run, between checkpoints.
+            crashed = self._replay(system, small_fleet, poison_slides=(2, 5))
+            assert system.restart_count() == 2
+        assert crashed == clean
+
+    def test_unrecoverable_after_restart_budget(self, world, small_fleet):
+        import pytest
+
+        from repro.runtime import ParallelSurveillanceSystem, WorkerUnrecoverable
+
+        config = SystemConfig(window=WindowSpec.of_hours(2, 0.5))
+        with ParallelSurveillanceSystem(
+            world, small_fleet["specs"], config, shards=2
+        ) as system:
+            system.supervisor.max_restarts = 0
+            system.supervisor.inject_failure(0)
+            arrivals = [
+                TimedArrival(p.timestamp, p) for p in small_fleet["stream"]
+            ]
+            query_time, batch = next(iter(StreamReplayer(arrivals, 1800).batches()))
+            with pytest.raises(WorkerUnrecoverable):
+                system.process_slide(batch, query_time)
 
 
 class TestRecognizerRobustness:

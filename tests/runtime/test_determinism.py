@@ -1,0 +1,103 @@
+"""The runtime's hard invariant: shard count never changes the output.
+
+For every shard count the parallel system must emit byte-identical alert
+sets and critical-point streams to the single-process pipeline on the same
+seeded fleet — per slide, at finalize, and in the archived trajectories.
+"""
+
+import pytest
+
+from repro.ais.stream import StreamReplayer, TimedArrival
+from repro.pipeline import SurveillanceSystem, SystemConfig
+from repro.runtime import ParallelSurveillanceSystem
+from repro.tracking import WindowSpec
+
+
+def _config():
+    return SystemConfig(window=WindowSpec.of_hours(2, 0.5))
+
+
+def _replay(system, small_fleet):
+    """Drive a system over the fleet stream; normalized output transcript."""
+    arrivals = [TimedArrival(p.timestamp, p) for p in small_fleet["stream"]]
+    slides = []
+    for query_time, batch in StreamReplayer(arrivals, 1800).batches():
+        report = system.process_slide(batch, query_time)
+        slides.append(
+            (
+                report.query_time,
+                report.raw_positions,
+                report.movement_events,
+                report.fresh_critical_points,
+                report.expired_critical_points,
+                report.recognized_complex_events,
+                [repr(a) for a in report.alerts],
+            )
+        )
+    final = system.finalize()
+    synopsis = [repr(p) for p in system.current_synopsis()]
+    archived = []
+    for trip in system.database.all_trips():
+        archived.extend(
+            repr(p) for p in system.database.trip_points(trip["trip_id"])
+        )
+    return {
+        "slides": slides,
+        "finalize": (
+            final.movement_events,
+            final.fresh_critical_points,
+            final.expired_critical_points,
+            final.recognized_complex_events,
+            [repr(a) for a in final.alerts],
+        ),
+        "synopsis": synopsis,
+        "alerts": [repr(a) for a in system.alerts()],
+        "archived": archived,
+    }
+
+
+@pytest.fixture(scope="module")
+def single_process_transcript(world, small_fleet):
+    system = SurveillanceSystem(world, small_fleet["specs"], _config())
+    transcript = _replay(system, small_fleet)
+    # The fixture fleet must actually exercise the pipeline, or the
+    # equality below is vacuous.
+    assert sum(s[2] for s in transcript["slides"]) > 0, "no movement events"
+    assert sum(s[3] for s in transcript["slides"]) > 0, "no critical points"
+    assert any(s[6] for s in transcript["slides"]), "no alerts raised"
+    return transcript
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_sharded_output_identical_to_single_process(
+    world, small_fleet, shards, single_process_transcript
+):
+    with ParallelSurveillanceSystem(
+        world, small_fleet["specs"], _config(), shards=shards
+    ) as system:
+        transcript = _replay(system, small_fleet)
+    assert transcript == single_process_transcript
+
+
+def test_report_surface_matches_single_process(world, small_fleet):
+    """Drop-in contract: the aggregate compressor statistics and phase
+    timings the reporting layer reads exist and add up."""
+    with ParallelSurveillanceSystem(
+        world, small_fleet["specs"], _config(), shards=2
+    ) as system:
+        arrivals = [
+            TimedArrival(p.timestamp, p) for p in small_fleet["stream"]
+        ]
+        raw_total = 0
+        for query_time, batch in StreamReplayer(arrivals, 1800).batches():
+            system.process_slide(batch, query_time)
+            raw_total += len(batch)
+        system.finalize()
+        assert system.compressor.statistics.raw_positions == raw_total
+        assert system.compressor.statistics.critical_points > 0
+        assert system.timings.slides > 0
+        timing = system.last_partition_timing
+        assert timing is not None
+        assert len(timing.per_partition_seconds) == 2
+        assert timing.measured_parallel_seconds is not None
+        assert timing.measured_parallel_seconds > 0.0

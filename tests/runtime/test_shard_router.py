@@ -1,0 +1,114 @@
+"""Routing invariants: lossless, order-preserving, deterministic."""
+
+from repro.ais.stream import PositionalTuple
+from repro.maritime.partition import partition_world
+from repro.runtime.shard import ShardRouter, shard_for_mmsi
+from repro.tracking.types import MovementEvent, MovementEventType
+
+
+class TestShardForMmsi:
+    def test_deterministic_across_calls(self):
+        for mmsi in range(200_000_000, 200_000_500):
+            assert shard_for_mmsi(mmsi, 4) == shard_for_mmsi(mmsi, 4)
+
+    def test_in_range(self):
+        for shards in (1, 2, 3, 4, 8):
+            for mmsi in range(200_000_000, 200_001_000, 7):
+                assert 0 <= shard_for_mmsi(mmsi, shards) < shards
+
+    def test_spreads_sequential_mmsis(self):
+        # Fleet MMSIs are near-sequential; the multiplicative hash must
+        # not funnel them all into one shard.
+        counts = [0, 0, 0, 0]
+        for mmsi in range(200_000_000, 200_000_100):
+            counts[shard_for_mmsi(mmsi, 4)] += 1
+        assert min(counts) > 0
+
+    def test_known_values_pinned(self):
+        # Checkpoint compatibility: the hash is part of the on-disk
+        # contract, so a silent change must fail a test.
+        assert shard_for_mmsi(200_000_000, 4) == (
+            (200_000_000 * 2654435761 & 0xFFFFFFFF) % 4
+        )
+
+
+class TestRoutePositions:
+    def _batch(self, count=60):
+        return [
+            PositionalTuple(200_000_000 + (i % 7), 23.0 + i * 0.01, 38.0, i)
+            for i in range(count)
+        ]
+
+    def test_partition_is_lossless(self, world):
+        router = ShardRouter(world, 4)
+        routed = router.route_positions(self._batch())
+        indices = sorted(i for sub in routed for i, _ in sub)
+        assert indices == list(range(60))
+
+    def test_preserves_global_order_within_shard(self, world):
+        router = ShardRouter(world, 4)
+        for sub in router.route_positions(self._batch()):
+            assert [i for i, _ in sub] == sorted(i for i, _ in sub)
+
+    def test_same_vessel_same_shard(self, world):
+        router = ShardRouter(world, 4)
+        routed = router.route_positions(self._batch())
+        owner = {}
+        for shard_id, sub in enumerate(routed):
+            for _, position in sub:
+                assert owner.setdefault(position.mmsi, shard_id) == shard_id
+
+
+class TestEventRouting:
+    def _event(self, lon, lat=38.0):
+        return MovementEvent(
+            MovementEventType.SLOW_MOTION, 200_000_001, lon, lat, 100
+        )
+
+    def test_every_event_reaches_some_band(self, world):
+        router = ShardRouter(world, 4)
+        step = (world.bbox.max_lon - world.bbox.min_lon) / 50
+        events = [
+            self._event(world.bbox.min_lon + i * step) for i in range(50)
+        ]
+        routed = router.route_events(events)
+        seen = set()
+        for sub in routed:
+            seen.update(id(e) for e in sub)
+        assert len(seen) == len(events)
+
+    def test_band_envelopes_cover_band_areas(self, world):
+        # Every area centroid must route to (at least) the band that owns
+        # the area under partition_world — the exactness precondition.
+        shards = 3
+        router = ShardRouter(world, shards)
+        bands = partition_world(world, shards)
+        for band_id, band in enumerate(bands):
+            for area in band.areas:
+                lon = area.polygon.centroid[0]
+                assert band_id in router.bands_for_longitude(lon)
+
+    def test_margin_widens_envelopes(self, world):
+        # Widening may coalesce intervals, so compare by containment: every
+        # narrow interval must lie inside some wide interval.
+        narrow = ShardRouter(world, 2, close_margin_meters=0.0)
+        wide = ShardRouter(world, 2, close_margin_meters=50_000.0)
+        for band_id in range(2):
+            for nlo, nhi in narrow.envelopes[band_id]:
+                assert any(
+                    wlo <= nlo and whi >= nhi
+                    for wlo, whi in wide.envelopes[band_id]
+                )
+
+    def test_out_of_envelope_falls_back_to_raw_band(self, world):
+        router = ShardRouter(world, 2)
+        # Far outside every area envelope: still routed (to its raw
+        # longitude band) so tracker-side events are never dropped.
+        bands = router.bands_for_longitude(world.bbox.min_lon - 5.0)
+        assert len(bands) == 1
+
+    def test_single_shard_routes_everything_to_band_zero(self, world):
+        router = ShardRouter(world, 1)
+        events = [self._event(23.0), self._event(26.0)]
+        routed = router.route_events(events)
+        assert routed == [events]
