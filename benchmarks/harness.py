@@ -280,6 +280,123 @@ def run_shard_sweep(
     }
 
 
+def run_service_benchmark(
+    fleet_size: int = FLEET_SIZE,
+    duration: int = DURATION_SECONDS,
+    window: WindowSpec | None = None,
+) -> dict:
+    """Measure the live service end to end over real TCP sockets.
+
+    Encodes the benchmark stream as raw ``!AIVDM`` sentences, stands up a
+    :class:`~repro.service.ServiceSupervisor` on ephemeral ports, replays
+    the sentences through the ingest listener while a feed subscriber
+    collects every slide line, then drains gracefully.  Returns the
+    ``service`` section of ``BENCH_pipeline.json``: ingest p50/p99 latency
+    (socket enqueue to batcher dequeue), sentences/sec and alerts/sec.
+    """
+    import asyncio
+    import json
+
+    from repro.ais import encode_position_report, wrap_aivdm
+    from repro.ais.messages import PositionReport
+    from repro.service import ServiceConfig, ServiceSupervisor
+
+    window = window or WindowSpec.of_minutes(120, 30)
+    _, specs, stream = benchmark_fleet(fleet_size, duration)
+    sentences = []
+    for position in stream:
+        payload, fill = encode_position_report(PositionReport(
+            message_type=1,
+            mmsi=position.mmsi,
+            lon=position.lon,
+            lat=position.lat,
+            speed_knots=10.0,
+            course_degrees=90.0,
+            second_of_minute=position.timestamp % 60,
+        ))
+        sentences.append((position.timestamp, wrap_aivdm(payload, fill)))
+
+    async def drive(supervisor):
+        await supervisor.start()
+        ports = supervisor.ports()
+        # A slide line carries every fresh critical point, easily beyond
+        # the 64 KiB default StreamReader limit at benchmark fleet sizes.
+        feed_reader, feed_writer = await asyncio.open_connection(
+            supervisor.service.host, ports["feed"], limit=1 << 24
+        )
+        while supervisor.feed.subscriber_count < 1:
+            await asyncio.sleep(0.005)
+        _, writer = await asyncio.open_connection(
+            supervisor.service.host, ports["ingest"]
+        )
+        started = time.perf_counter()
+        for receive_time, sentence in sentences:
+            writer.write(f"{receive_time}\t{sentence}\n".encode("ascii"))
+            if writer.transport.get_write_buffer_size() > 1 << 16:
+                await writer.drain()
+        await writer.drain()
+        writer.close()
+        await writer.wait_closed()
+        while supervisor.ingest.open_connections:
+            await asyncio.sleep(0.005)
+        await supervisor.drain_and_stop()
+        elapsed = time.perf_counter() - started
+        lines = []
+        while True:
+            raw = await feed_reader.readline()
+            if not raw:
+                break
+            lines.append(json.loads(raw.decode("utf-8")))
+        feed_writer.close()
+        try:
+            await feed_writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        return elapsed, lines
+
+    with obs.activate(obs.MetricsRegistry()) as registry:
+        supervisor = ServiceSupervisor(
+            benchmark_world(),
+            specs,
+            SystemConfig(window=window),
+            # The replay is unpaced (no receiver sends 24 h of traffic in
+            # seconds), so size the queue for the whole stream: the section
+            # measures service overhead on the full pipeline, not the
+            # load-shedding policy (tests/service/test_soak_parity.py
+            # covers shedding).
+            ServiceConfig(
+                ingest_port=0,
+                feed_port=0,
+                http_port=0,
+                ingest_queue_size=len(sentences) + 1,
+            ),
+        )
+        elapsed, feed_lines = asyncio.run(drive(supervisor))
+        latency = registry.histogram("service.ingest.latency_seconds")
+        alerts = supervisor.alert_ring.last_seq
+        return {
+            "fleet_size": fleet_size,
+            "duration_seconds": duration,
+            "sentences": len(sentences),
+            "ingested": supervisor.queue.put_count,
+            "shed": supervisor.queue.shed_count,
+            "slides": supervisor.batcher.slides_processed,
+            "feed_lines": len(feed_lines),
+            "alerts": alerts,
+            "elapsed_seconds": elapsed,
+            "sentences_per_sec": (
+                len(sentences) / elapsed if elapsed > 0 else 0.0
+            ),
+            "alerts_per_sec": alerts / elapsed if elapsed > 0 else 0.0,
+            "ingest_latency_ms": {
+                "p50": latency.quantile(0.5) * 1000.0,
+                "p99": latency.quantile(0.99) * 1000.0,
+                "mean": latency.mean * 1000.0,
+                "max": (latency.max if latency.count else 0.0) * 1000.0,
+            },
+        }
+
+
 def record_result(name: str, lines: list[str]) -> Path:
     """Write a result table under benchmarks/results/ and echo it.
 
@@ -310,6 +427,10 @@ if __name__ == "__main__":
                         help="also run the process-parallel runtime at 1/2/4 "
                              "shards and record speedups vs the 1-shard "
                              "runtime baseline")
+    parser.add_argument("--service", action="store_true",
+                        help="also replay the stream through the live TCP "
+                             "service and record ingest p50/p99 latency and "
+                             "alerts/sec")
     parser.add_argument("--json-path", default=BENCH_PIPELINE_PATH,
                         help="where to write the report "
                              "(default: repo-root BENCH_pipeline.json)")
@@ -321,6 +442,10 @@ if __name__ == "__main__":
     )
     if cli.shard_sweep:
         bench_report["shard_sweep"] = run_shard_sweep(
+            fleet_size=cli.fleet_size, duration=duration_seconds
+        )
+    if cli.service:
+        bench_report["service"] = run_service_benchmark(
             fleet_size=cli.fleet_size, duration=duration_seconds
         )
     write_report(bench_report, cli.json_path)
@@ -345,3 +470,11 @@ if __name__ == "__main__":
                 f"{entry['positions_per_sec']:.0f} pos/s  "
                 f"speedup={entry['speedup_vs_1shard']:.2f}x"
             )
+    if cli.service:
+        svc = bench_report["service"]
+        latency = svc["ingest_latency_ms"]
+        print(
+            f"  service: {svc['sentences_per_sec']:.0f} sentences/s  "
+            f"ingest p50={latency['p50']:.2f}ms p99={latency['p99']:.2f}ms  "
+            f"alerts/s={svc['alerts_per_sec']:.2f}  shed={svc['shed']}"
+        )

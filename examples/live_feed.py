@@ -1,0 +1,187 @@
+"""Feed-replay client: stream a simulated fleet to the live service.
+
+Simulates the same deterministic fleet the server built (match the
+``--vessels``/``--seed``/``--hours`` values of ``python -m repro --serve``),
+encodes every position as a timestamped ``!AIVDM`` sentence, and streams
+the whole thing over a real TCP socket to the service's ingest port.
+Optionally subscribes to the alert feed concurrently and prints each
+slide's alerts as the server recognizes them.
+
+Run (against ``python -m repro --serve --port 10110 --vessels 30 --hours 4``)::
+
+    python examples/live_feed.py --port 10110 --vessels 30 --hours 4
+    python examples/live_feed.py --port 10110 --subscribe   # also print alerts
+    python examples/live_feed.py --port 10110 --rate 5000   # sentences/sec cap
+
+The client sends a fraction of type-19 reports split into two-fragment
+sentence groups, exercising the scanner's reassembly path end to end.
+"""
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+from repro import FleetSimulator, build_aegean_world
+from repro.ais import (
+    PositionReport,
+    encode_position_report,
+    wrap_aivdm,
+    wrap_aivdm_fragments,
+)
+from repro.service import format_ingest_line
+
+
+def build_sentences(
+    vessels: int, hours: float, seed: int, fragment_every: int = 0
+) -> list[str]:
+    """Encode a deterministic fleet's stream as timestamped ingest lines.
+
+    ``fragment_every`` > 0 turns every N-th report into a two-fragment
+    type-19 sentence group (both lines share the report's timestamp).
+    """
+    world = build_aegean_world()
+    simulator = FleetSimulator(
+        world, seed=seed, duration_seconds=int(hours * 3600)
+    )
+    fleet = simulator.build_mixed_fleet(vessels)
+    lines = []
+    for index, position in enumerate(simulator.positions(fleet)):
+        fragmented = fragment_every and index % fragment_every == 0
+        report = PositionReport(
+            message_type=19 if fragmented else 1,
+            mmsi=position.mmsi,
+            lon=position.lon,
+            lat=position.lat,
+            speed_knots=10.0,
+            course_degrees=90.0,
+            second_of_minute=position.timestamp % 60,
+        )
+        payload, fill = encode_position_report(report)
+        if fragmented:
+            for sentence in wrap_aivdm_fragments(
+                payload, fill, message_id=index % 10
+            ):
+                lines.append(format_ingest_line(position.timestamp, sentence))
+        else:
+            lines.append(
+                format_ingest_line(
+                    position.timestamp, wrap_aivdm(payload, fill)
+                )
+            )
+    return lines
+
+
+async def stream_sentences(
+    host: str, port: int, lines: list[str], rate: float = 0.0
+) -> float:
+    """Send every line over one connection; returns the wall seconds taken."""
+    reader, writer = await asyncio.open_connection(host, port)
+    del reader  # the ingest listener never talks back
+    started = time.perf_counter()
+    interval = 1.0 / rate if rate > 0 else 0.0
+    for index, line in enumerate(lines):
+        writer.write(line.encode("ascii") + b"\n")
+        if index % 500 == 499:
+            await writer.drain()
+        if interval:
+            await asyncio.sleep(interval)
+    await writer.drain()
+    writer.close()
+    await writer.wait_closed()
+    return time.perf_counter() - started
+
+
+async def subscribe_feed(host: str, port: int, stop: asyncio.Event) -> int:
+    """Print alerts from the subscription feed until the server closes it."""
+    # Slide lines carry every fresh critical point and can exceed the
+    # 64 KiB default StreamReader limit on busy slides.
+    reader, writer = await asyncio.open_connection(host, port, limit=1 << 24)
+    alerts_seen = 0
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            payload = json.loads(line)
+            for alert in payload.get("alerts", []):
+                alerts_seen += 1
+                vessel = (
+                    f" vessel={alert['mmsi']}" if alert.get("mmsi") else ""
+                )
+                print(
+                    f"  [t={payload['query_time']:>6}] "
+                    f"{alert['kind']} @ {alert['area']}{vessel}"
+                )
+            if stop.is_set():
+                break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    return alerts_seen
+
+
+async def run(args: argparse.Namespace) -> int:
+    lines = build_sentences(
+        args.vessels, args.hours, args.seed, args.fragment_every
+    )
+    print(
+        f"streaming {len(lines)} sentences to "
+        f"{args.host}:{args.port}"
+        + (f" at <= {args.rate:g}/s" if args.rate else " (unpaced)")
+    )
+    stop = asyncio.Event()
+    subscriber = None
+    if args.subscribe:
+        subscriber = asyncio.ensure_future(
+            subscribe_feed(args.host, args.port + 1, stop)
+        )
+        await asyncio.sleep(0.1)  # subscribe before the first slide lands
+    seconds = await stream_sentences(args.host, args.port, lines, args.rate)
+    print(f"sent {len(lines)} sentences in {seconds:.2f}s "
+          f"({len(lines) / seconds:.0f}/s)")
+    if subscriber is not None:
+        # Leave the feed open briefly for in-flight slides, then detach.
+        await asyncio.sleep(args.linger)
+        stop.set()
+        subscriber.cancel()
+        try:
+            alerts = await subscriber
+            print(f"feed delivered {alerts} alerts")
+        except asyncio.CancelledError:
+            pass
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Replay a simulated fleet into the live service over TCP"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=10110,
+                        help="the service's ingest port (feed is PORT+1)")
+    parser.add_argument("--vessels", type=int, default=30,
+                        help="fleet size; MUST match the server's")
+    parser.add_argument("--hours", type=float, default=4.0,
+                        help="simulated hours of traffic")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="simulation seed; MUST match the server's")
+    parser.add_argument("--rate", type=float, default=0.0,
+                        help="max sentences/sec (0 = unpaced)")
+    parser.add_argument("--fragment-every", type=int, default=50,
+                        help="send every N-th report as a 2-fragment "
+                             "type-19 group (0 = never)")
+    parser.add_argument("--subscribe", action="store_true",
+                        help="also subscribe to the alert feed and print "
+                             "alerts as slides complete")
+    parser.add_argument("--linger", type=float, default=2.0,
+                        help="seconds to keep the feed open after sending")
+    return asyncio.run(run(parser.parse_args()))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@ Usage::
                     [--window-hours W] [--slide-minutes B]
                     [--spatial-facts] [--shards N] [--checkpoint-dir PATH]
                     [--kml PATH] [--metrics-json PATH]
+    python -m repro --serve [--port P] [--host H] [... same pipeline flags]
 
 Simulates a mixed fleet, runs the full pipeline, streams alerts to stdout
 as they are recognized, and prints the end-of-run summary (compression,
@@ -19,6 +20,18 @@ docs/OBSERVABILITY.md for the format.
 process-parallel runtime (:class:`repro.runtime.ParallelSurveillanceSystem`)
 — identical alerts and synopses, with per-shard runtime metrics added to
 the report; see docs/RUNTIME.md.
+
+``--serve`` starts the always-on live service instead of a batch replay:
+a TCP ingest listener for raw ``!AIVDM`` lines on ``--port`` (default
+10110, the conventional NMEA-over-TCP port), the newline-delimited-JSON
+subscription feed on ``port+1``, and the HTTP query/metrics API
+(``/healthz``, Prometheus ``/metrics``, ``/vessels/{mmsi}``,
+``/alerts?since=``) on ``port+2``.  The served recognizer uses the fleet
+specs derived from ``--vessels``/``--seed``, so pair it with
+``examples/live_feed.py`` run with the same values.  SIGINT/SIGTERM
+drains gracefully: buffered sentences flush through the pipeline, the
+final slide and end-of-stream finalize run, then the process exits 0.
+See docs/SERVICE.md for the wire protocols and backpressure semantics.
 """
 
 import argparse
@@ -61,6 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--checkpoint-dir", metavar="PATH",
                         help="shard checkpoint directory (with --shards > 1; "
                              "default: a private temporary directory)")
+    parser.add_argument("--serve", action="store_true",
+                        help="run the live service (TCP ingest + feed + "
+                             "HTTP API) instead of a batch replay; see "
+                             "docs/SERVICE.md")
+    parser.add_argument("--port", type=int, default=10110,
+                        help="base port with --serve: ingest=PORT, "
+                             "feed=PORT+1, http=PORT+2 (default: 10110; "
+                             "0 binds ephemerally)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address with --serve (default: 127.0.0.1)")
     parser.add_argument("--kml", metavar="PATH",
                         help="export the final window synopsis as KML")
     parser.add_argument("--metrics-json", metavar="PATH",
@@ -73,6 +96,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Run the demo; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.serve:
+        return _serve(args)
     if args.metrics_json:
         # A fresh scoped registry: repeated in-process runs don't bleed
         # metrics into each other, and the global one stays untouched.
@@ -81,7 +106,8 @@ def main(argv: list[str] | None = None) -> int:
     return _run(args)
 
 
-def _run(args: argparse.Namespace) -> int:
+def _build_pipeline_inputs(args: argparse.Namespace):
+    """The (world, simulator, fleet, specs, config) a run needs."""
     world = build_aegean_world()
     simulator = FleetSimulator(
         world, seed=args.seed, duration_seconds=int(args.hours * 3600)
@@ -92,6 +118,50 @@ def _run(args: argparse.Namespace) -> int:
         window=WindowSpec.of_minutes(args.window_hours * 60, args.slide_minutes),
         spatial_facts=args.spatial_facts,
     )
+    return world, simulator, fleet, specs, config
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """Run the live service until a signal drains it."""
+    import asyncio
+
+    from repro.service import ServiceConfig, run_service
+
+    world, _, _, specs, config = _build_pipeline_inputs(args)
+    service = ServiceConfig(
+        host=args.host,
+        ingest_port=args.port,
+        feed_port=args.port + 1 if args.port else 0,
+        http_port=args.port + 2 if args.port else 0,
+        shards=args.shards,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    # /metrics serves the global registry, so collection is on for the
+    # whole lifetime of the service.
+    obs.enable()
+    supervisor = asyncio.run(run_service(world, specs, config, service))
+    if args.metrics_json:
+        from repro.obs.report import build_pipeline_report, write_report
+
+        report = build_pipeline_report(
+            supervisor.system,
+            obs.get_registry(),
+            config={
+                "serve": True,
+                "vessels": args.vessels,
+                "seed": args.seed,
+                "window_hours": args.window_hours,
+                "slide_minutes": args.slide_minutes,
+                "shards": args.shards,
+            },
+        )
+        write_report(report, args.metrics_json)
+        print(f"metrics report written to {args.metrics_json}")
+    return 0
+
+
+def _run(args: argparse.Namespace) -> int:
+    world, simulator, fleet, specs, config = _build_pipeline_inputs(args)
     if args.shards > 1:
         from repro.runtime import ParallelSurveillanceSystem
 

@@ -18,19 +18,23 @@ This package implements that substrate from scratch:
 
 from repro.ais.messages import PositionReport, decode_payload, encode_position_report
 from repro.ais.nmea import (
+    AivdmSentence,
     ChecksumError,
     NmeaFormatError,
     nmea_checksum,
     unwrap_aivdm,
     wrap_aivdm,
+    wrap_aivdm_fragments,
 )
-from repro.ais.scanner import DataScanner, ScannerStatistics
+from repro.ais.scanner import DataScanner, FragmentAssembler, ScannerStatistics
 from repro.ais.stream import DelayModel, PositionalTuple, StreamReplayer
 
 __all__ = [
+    "AivdmSentence",
     "ChecksumError",
     "DataScanner",
     "DelayModel",
+    "FragmentAssembler",
     "NmeaFormatError",
     "PositionReport",
     "PositionalTuple",
@@ -41,4 +45,5 @@ __all__ = [
     "nmea_checksum",
     "unwrap_aivdm",
     "wrap_aivdm",
+    "wrap_aivdm_fragments",
 ]

@@ -26,11 +26,26 @@ class ChecksumError(ValueError):
 
 @dataclass(frozen=True)
 class AivdmSentence:
-    """Parsed fields of a (single-fragment) AIVDM sentence."""
+    """Parsed fields of one AIVDM sentence (possibly one fragment of many).
+
+    Long messages (e.g. the 312-bit type 19) may be split across sentences;
+    ``fragment_count``/``fragment_number`` carry the 1-based framing and
+    ``message_id`` the sequential id shared by fragments of one message
+    (empty for single-fragment sentences).  ``fill_bits`` is only
+    meaningful on the final fragment.
+    """
 
     payload: str
     fill_bits: int
     channel: str
+    fragment_count: int = 1
+    fragment_number: int = 1
+    message_id: str = ""
+
+    @property
+    def is_fragmented(self) -> bool:
+        """Whether this sentence is one piece of a multi-sentence message."""
+        return self.fragment_count > 1
 
 
 def nmea_checksum(body: str) -> str:
@@ -45,6 +60,39 @@ def wrap_aivdm(payload: str, fill_bits: int, channel: str = "A") -> str:
     """Frame an armored payload as a single-fragment AIVDM sentence."""
     body = f"AIVDM,1,1,,{channel},{payload},{fill_bits}"
     return f"!{body}*{nmea_checksum(body)}"
+
+
+def wrap_aivdm_fragments(
+    payload: str,
+    fill_bits: int,
+    channel: str = "A",
+    message_id: int = 1,
+    fragments: int = 2,
+) -> list[str]:
+    """Frame one armored payload as a multi-fragment sentence group.
+
+    The payload is split into ``fragments`` near-equal chunks; every
+    fragment carries the shared ``message_id`` and only the last carries
+    the fill bits, per NMEA convention.  Receivers reassemble by
+    concatenating the payloads in fragment order.
+    """
+    if fragments < 1:
+        raise ValueError(f"fragment count must be positive: {fragments}")
+    if fragments > len(payload):
+        raise ValueError(
+            f"cannot split a {len(payload)}-char payload into {fragments} "
+            "non-empty fragments"
+        )
+    chunk = -(-len(payload) // fragments)  # ceil division
+    sentences = []
+    for number in range(1, fragments + 1):
+        piece = payload[(number - 1) * chunk : number * chunk]
+        fill = fill_bits if number == fragments else 0
+        body = (
+            f"AIVDM,{fragments},{number},{message_id},{channel},{piece},{fill}"
+        )
+        sentences.append(f"!{body}*{nmea_checksum(body)}")
+    return sentences
 
 
 def unwrap_aivdm(sentence: str) -> AivdmSentence:
@@ -74,12 +122,18 @@ def unwrap_aivdm(sentence: str) -> AivdmSentence:
         fill_bits = int(fields[6])
     except ValueError as exc:
         raise NmeaFormatError(f"non-numeric framing field in {body!r}") from exc
-    if fragment_count != 1 or fragment_number != 1:
+    if fragment_count < 1 or not 1 <= fragment_number <= fragment_count:
         raise NmeaFormatError(
-            "multi-fragment sentences are not produced by the supported "
-            f"message types (got fragment {fragment_number}/{fragment_count})"
+            f"inconsistent fragment framing: {fragment_number}/{fragment_count}"
         )
     payload = fields[5]
     if not payload:
         raise NmeaFormatError("empty payload")
-    return AivdmSentence(payload=payload, fill_bits=fill_bits, channel=fields[4])
+    return AivdmSentence(
+        payload=payload,
+        fill_bits=fill_bits,
+        channel=fields[4],
+        fragment_count=fragment_count,
+        fragment_number=fragment_number,
+        message_id=fields[3],
+    )

@@ -5,16 +5,24 @@
 transmission (e.g., discard messages with bad checksum)." — Section 2.
 
 The scanner accepts raw ``(receive_time, sentence)`` pairs, validates the
-NMEA framing and checksum, decodes the payload, filters to position-report
-types 1/2/3/18/19, rejects sentinel/out-of-range coordinates, and emits
+NMEA framing and checksum, reassembles multi-fragment sentence groups
+(long type-19 reports are commonly split in two on the wire), decodes the
+payload, filters to position-report types 1/2/3/18/19, rejects
+sentinel/out-of-range coordinates, and emits
 :class:`~repro.ais.stream.PositionalTuple` values.  Counters of every
-rejection cause are kept for observability.
+rejection cause are kept for observability — including fragments that
+never completed, which are *counted*, never silently lost.
 """
 
 from dataclasses import dataclass, field
 
 from repro.ais.messages import decode_payload
-from repro.ais.nmea import ChecksumError, NmeaFormatError, unwrap_aivdm
+from repro.ais.nmea import (
+    AivdmSentence,
+    ChecksumError,
+    NmeaFormatError,
+    unwrap_aivdm,
+)
 from repro.ais.stream import PositionalTuple
 
 
@@ -28,6 +36,11 @@ class ScannerStatistics:
     bad_payload: int = 0
     unsupported_type: int = 0
     invalid_position: int = 0
+    #: Multi-fragment groups discarded incomplete (orphaned, superseded,
+    #: or still pending at :meth:`DataScanner.flush`), in sentences.
+    fragmented_dropped: int = 0
+    #: Multi-fragment groups successfully reassembled into one message.
+    reassembled: int = 0
     rejection_causes: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -39,26 +52,87 @@ class ScannerStatistics:
             + self.bad_payload
             + self.unsupported_type
             + self.invalid_position
+            + self.fragmented_dropped
         )
 
     @property
     def total(self) -> int:
-        """Total number of sentences seen."""
+        """Total number of sentences seen (pending fragments excluded)."""
         return self.accepted + self.rejected
+
+
+class FragmentAssembler:
+    """Reassembly buffer for multi-fragment AIVDM sentence groups.
+
+    Fragments of one message share ``(channel, message_id,
+    fragment_count)``; the assembler holds partial groups until every
+    fragment has arrived, then hands back a joined single-fragment
+    sentence.  A bounded number of partial groups is kept: the oldest is
+    discarded (its sentences counted) when ``max_pending`` is exceeded,
+    so a stream of orphans cannot grow memory without bound.
+    """
+
+    def __init__(self, max_pending: int = 64):
+        self.max_pending = max_pending
+        #: key -> {fragment_number: AivdmSentence}; dict order doubles as
+        #: arrival order, which is what the eviction policy needs.
+        self._pending: dict[tuple, dict[int, AivdmSentence]] = {}
+        self.dropped_sentences = 0
+
+    def add(self, parsed: AivdmSentence) -> AivdmSentence | None:
+        """Buffer one fragment; the reassembled sentence once complete.
+
+        A repeated fragment number supersedes the stale group (the old
+        sentences count as dropped): sequential message ids are only two
+        bits on the wire, so collisions simply mean the old group died.
+        """
+        key = (parsed.channel, parsed.message_id, parsed.fragment_count)
+        group = self._pending.get(key)
+        if group is not None and parsed.fragment_number in group:
+            self.dropped_sentences += len(group)
+            del self._pending[key]
+            group = None
+        if group is None:
+            group = self._pending[key] = {}
+        group[parsed.fragment_number] = parsed
+        if len(group) < parsed.fragment_count:
+            self._evict_overflow()
+            return None
+        del self._pending[key]
+        ordered = [group[i] for i in range(1, parsed.fragment_count + 1)]
+        return AivdmSentence(
+            payload="".join(fragment.payload for fragment in ordered),
+            fill_bits=ordered[-1].fill_bits,
+            channel=parsed.channel,
+        )
+
+    def _evict_overflow(self) -> None:
+        while len(self._pending) > self.max_pending:
+            oldest = next(iter(self._pending))
+            self.dropped_sentences += len(self._pending.pop(oldest))
+
+    def flush(self) -> int:
+        """Drop all pending partial groups; returns sentences discarded."""
+        dropped = sum(len(group) for group in self._pending.values())
+        self._pending.clear()
+        self.dropped_sentences += dropped
+        return dropped
 
 
 class DataScanner:
     """Decode and clean raw AIVDM sentences into positional tuples."""
 
-    def __init__(self) -> None:
+    def __init__(self, max_pending_fragments: int = 64) -> None:
         self.statistics = ScannerStatistics()
+        self._assembler = FragmentAssembler(max_pending_fragments)
 
     def scan(self, receive_time: int, sentence: str) -> PositionalTuple | None:
         """Process one sentence; return its positional tuple or ``None``.
 
         The timestamp of the emitted tuple is the receiver timestamp (AIS
         messages only carry the second-of-minute, so receivers stamp full
-        timestamps, which is what the dataset of Section 5 records).
+        timestamps, which is what the dataset of Section 5 records).  For
+        multi-fragment messages that is the final fragment's receive time.
         """
         stats = self.statistics
         try:
@@ -69,6 +143,15 @@ class DataScanner:
         except NmeaFormatError:
             stats.bad_format += 1
             return None
+        if parsed.is_fragmented:
+            before = self._assembler.dropped_sentences
+            parsed = self._assembler.add(parsed)
+            stats.fragmented_dropped += (
+                self._assembler.dropped_sentences - before
+            )
+            if parsed is None:
+                return None
+            stats.reassembled += 1
         try:
             report = decode_payload(parsed.payload, parsed.fill_bits)
         except ValueError:
@@ -98,3 +181,13 @@ class DataScanner:
             if position is not None:
                 tuples.append(position)
         return tuples
+
+    def flush(self) -> int:
+        """End-of-stream: count still-pending fragments as dropped.
+
+        Returns the number of sentences discarded; they show up in
+        ``statistics.fragmented_dropped`` like every other loss.
+        """
+        dropped = self._assembler.flush()
+        self.statistics.fragmented_dropped += dropped
+        return dropped

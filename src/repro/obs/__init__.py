@@ -31,7 +31,13 @@ always act on the *current* global registry.
 
 from contextlib import contextmanager
 
-from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
 from repro.obs.spans import NULL_SPAN, Span
 
 __all__ = [
@@ -48,6 +54,7 @@ __all__ = [
     "get_registry",
     "is_enabled",
     "observe",
+    "render_prometheus",
     "set_gauge",
     "set_registry",
     "span",

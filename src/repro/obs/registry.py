@@ -19,10 +19,14 @@ deliberately lock-free — like the paper's main-memory tracker it assumes a
 single-threaded pipeline; use one registry per worker when partitioning.
 """
 
+import re
 from dataclasses import dataclass, field
 
 #: Quantiles reported in snapshots, as (label, q) pairs.
 SNAPSHOT_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+#: Quantiles exposed on Prometheus summaries (the ``quantile`` label).
+PROMETHEUS_QUANTILES = (0.5, 0.95, 0.99)
 
 
 @dataclass
@@ -257,3 +261,67 @@ class MetricsRegistry:
                 for path, histogram in sorted(self._span_histograms.items())
             },
         }
+
+
+# -- Prometheus text-format export ---------------------------------------
+
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitize an instrument name into a legal Prometheus metric name.
+
+    Dots (the registry's namespacing convention) and any other illegal
+    characters become underscores; a ``repro_`` prefix namespaces the
+    whole export.
+    """
+    sanitized = _INVALID_METRIC_CHARS.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value; integers lose the trailing ``.0``."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_summary(lines: list[str], name: str, histogram: Histogram) -> None:
+    """One histogram as a Prometheus ``summary`` family."""
+    lines.append(f"# TYPE {name} summary")
+    for q in PROMETHEUS_QUANTILES:
+        value = histogram.quantile(q) if histogram.count else 0.0
+        lines.append(f'{name}{{quantile="{q}"}} {_format_value(value)}')
+    lines.append(f"{name}_sum {_format_value(histogram.total)}")
+    lines.append(f"{name}_count {histogram.count}")
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Render a registry in the Prometheus text exposition format (0.0.4).
+
+    Counters gain the conventional ``_total`` suffix, histograms and span
+    durations are exposed as summaries with ``quantile`` labels plus
+    ``_sum``/``_count``, and span paths land under ``<prefix>_span_``.
+    The output ends with a trailing newline, as the format requires.
+    """
+    lines: list[str] = []
+    for name, counter in sorted(registry._counters.items()):
+        metric = _metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counter.value)}")
+    for name, gauge in sorted(registry._gauges.items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauge.value)}")
+    for name, histogram in sorted(registry._histograms.items()):
+        _render_summary(lines, _metric_name(name, prefix), histogram)
+    span_prefix = f"{prefix}_span" if prefix else "span"
+    for path, histogram in sorted(registry._span_histograms.items()):
+        _render_summary(lines, _metric_name(path, span_prefix), histogram)
+    return "\n".join(lines) + "\n" if lines else "\n"

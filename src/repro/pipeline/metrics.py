@@ -48,6 +48,10 @@ class SlideReport:
     recognized_complex_events: int
     alerts: tuple
     timings: dict[str, float]
+    #: The fresh critical points themselves (not just the count), in the
+    #: deterministic synopsis order — what the live service's subscription
+    #: feed publishes alongside the alerts.
+    fresh_points: tuple = ()
 
     @property
     def total_seconds(self) -> float:

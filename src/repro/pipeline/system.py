@@ -117,6 +117,7 @@ class SurveillanceSystem:
             recognized_complex_events=recognized,
             alerts=alerts,
             timings=slide_timings,
+            fresh_points=tuple(fresh),
         )
 
     def _record_slide_metrics(
@@ -179,6 +180,7 @@ class SurveillanceSystem:
             recognized_complex_events=recognized,
             alerts=alerts,
             timings=slide_timings,
+            fresh_points=tuple(fresh),
         )
 
     # ------------------------------------------------------------------

@@ -211,6 +211,7 @@ class ParallelSurveillanceSystem:
             recognized_complex_events=recognized,
             alerts=alerts,
             timings=slide_timings,
+            fresh_points=tuple(fresh),
         )
 
     def finalize(self) -> SlideReport | None:
@@ -249,6 +250,7 @@ class ParallelSurveillanceSystem:
             recognized_complex_events=recognized,
             alerts=alerts,
             timings=slide_timings,
+            fresh_points=tuple(fresh),
         )
 
     def _record_slide_metrics(

@@ -1,0 +1,132 @@
+"""The slide batcher: from ingest queue to pipeline slides.
+
+This is the live twin of :class:`repro.ais.stream.StreamReplayer` and
+follows its batching contract *exactly* — query times are consecutive
+multiples of the window slide starting at the first boundary at or after
+the earliest arrival, a slide's batch holds every arrival with
+``arrival <= query_time``, and empty slides still run (the window slides
+and expired tuples must still be evicted).  The soak-parity tests lean on
+this: a TCP-ingested stream must produce *byte-identical* feed output to
+an offline replay of the same sentences.
+
+Pipeline slides execute on a worker thread (``run_in_executor``) so the
+event loop keeps reading sockets while a slide is being processed —
+that's what lets the bounded ingest queue shed (with counters) instead of
+the whole service seizing up when producers outrun the pipeline.
+"""
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import obs
+from repro.ais.scanner import DataScanner
+from repro.pipeline.metrics import SlideReport
+
+
+class SlideBatcher:
+    """Consume the ingest queue, drive the pipeline, publish slide results."""
+
+    def __init__(
+        self,
+        system,
+        queue,
+        slide_seconds: int,
+        on_report=None,
+        on_position=None,
+        record_ingest: bool = False,
+    ):
+        if slide_seconds <= 0:
+            raise ValueError(f"slide must be positive, got {slide_seconds}")
+        self.system = system
+        self.queue = queue
+        self.slide_seconds = slide_seconds
+        self.scanner = DataScanner()
+        self._on_report = on_report or (lambda report, kind: None)
+        self._on_position = on_position or (lambda position: None)
+        self._record_ingest = record_ingest
+        #: Exactly the (receive_time, sentence) pairs handed to the
+        #: scanner, post-shedding — the offline-parity replay input.
+        self.ingested: list[tuple[int, str]] = []
+        self._batch: list = []
+        self._query_time: int | None = None
+        self.slides_processed = 0
+        self.pipeline_errors = 0
+        # One dedicated worker: pipeline calls stay strictly serialized on
+        # a single thread (the MOD's sqlite connection is single-owner).
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="pipeline-slide"
+        )
+
+    async def run(self) -> None:
+        """Main loop; returns once the queue is closed and fully drained."""
+        slide = self.slide_seconds
+        while True:
+            item = await self.queue.get()
+            if item is None:
+                break
+            receive_time, sentence, enqueued_at = item
+            obs.observe(
+                "service.ingest.latency_seconds",
+                time.perf_counter() - enqueued_at,
+            )
+            if self._record_ingest:
+                self.ingested.append((receive_time, sentence))
+            position = self.scanner.scan(receive_time, sentence)
+            if position is None:
+                continue
+            self._on_position(position)
+            arrival = receive_time
+            if self._query_time is None:
+                # First boundary at or after the earliest arrival — the
+                # StreamReplayer rule, special case included.
+                boundary = ((arrival + slide - 1) // slide) * slide
+                if boundary == arrival == 0:
+                    boundary = slide
+                self._query_time = boundary
+            while arrival > self._query_time:
+                await self._process_slide()
+                self._query_time += slide
+            self._batch.append(position)
+
+    async def drain(self) -> None:
+        """Flush the last partial slide and run end-of-stream finalize."""
+        if self._batch:
+            await self._process_slide()
+        dropped = self.scanner.flush()
+        if dropped:
+            obs.count("service.ingest.fragments_dropped_at_drain", dropped)
+        if self._query_time is not None:
+            report = await self._call_pipeline(self.system.finalize)
+            if report is not None:
+                self._on_report(report, "finalize")
+        self._executor.shutdown(wait=True)
+
+    async def _process_slide(self) -> None:
+        batch, self._batch = self._batch, []
+        report = await self._call_pipeline(
+            self.system.process_slide, batch, self._query_time
+        )
+        if report is None:
+            return
+        self.slides_processed += 1
+        obs.set_gauge("service.ingest.queue_depth", len(self.queue))
+        self._on_report(report, "slide")
+
+    async def _call_pipeline(self, fn, *args) -> SlideReport | None:
+        """Run one pipeline call off-loop; errors are counted, not fatal.
+
+        The embedded sharded runtime already restarts crashed workers and
+        replays from checkpoints underneath this call; anything that still
+        escapes is a slide lost to an unrecoverable fault, which the
+        service survives and counts (``service.pipeline.errors``).
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                self._executor, lambda: fn(*args)
+            )
+        except Exception:
+            self.pipeline_errors += 1
+            obs.count("service.pipeline.errors")
+            return None

@@ -1,0 +1,54 @@
+"""Configuration of the live service layer."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every knob of the network-facing service.
+
+    Ports set to ``0`` bind ephemerally (the supervisor reports the actual
+    port after :meth:`~repro.service.supervisor.ServiceSupervisor.start`),
+    which is what the tests and the benchmark harness use.
+    """
+
+    host: str = "127.0.0.1"
+    #: Raw ``!AIVDM`` line listener (10110 is the conventional
+    #: NMEA-over-TCP port).
+    ingest_port: int = 10110
+    #: Newline-delimited-JSON subscription feed.
+    feed_port: int = 10111
+    #: HTTP query/metrics API.
+    http_port: int = 10112
+    #: Sentences buffered between the socket readers and the pipeline;
+    #: beyond this the *oldest* buffered sentence is shed (and counted).
+    ingest_queue_size: int = 8192
+    #: Slide payload lines buffered per feed subscriber; a subscriber
+    #: that falls this far behind is evicted rather than stalling the
+    #: pipeline.
+    subscriber_queue_size: int = 256
+    #: Recent complex events kept for ``/alerts?since=``.
+    alert_ring_size: int = 1024
+    #: Worker shards; >1 embeds the process-parallel runtime
+    #: (:class:`repro.runtime.ParallelSurveillanceSystem`).
+    shards: int = 1
+    #: Shard checkpoint directory (``None`` = private temporary dir).
+    checkpoint_dir: str | None = None
+    #: Keep a log of every ``(receive_time, sentence)`` actually handed
+    #: to the scanner — lets tests replay exactly the post-shedding
+    #: stream offline.  Off in production: it grows without bound.
+    record_ingest: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ingest_queue_size <= 0:
+            raise ValueError(
+                f"ingest queue must hold at least one sentence: "
+                f"{self.ingest_queue_size}"
+            )
+        if self.subscriber_queue_size <= 0:
+            raise ValueError(
+                f"subscriber queue must hold at least one line: "
+                f"{self.subscriber_queue_size}"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1: {self.shards}")

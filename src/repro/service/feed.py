@@ -1,0 +1,124 @@
+"""The subscription feed: newline-delimited JSON, slow consumers evicted.
+
+Every completed slide publishes one JSON line (alerts + fresh critical
+points, see :mod:`repro.service.protocol`) to every connected subscriber.
+Each subscriber owns a bounded outbound queue drained by its own writer
+task; a subscriber whose queue fills up — it stopped reading, or its link
+is too slow — is evicted (connection closed, ``service.feed.evicted``
+incremented) so one stuck client can never stall the pipeline or grow
+memory. The paper's monitor is push-based for exactly this surface:
+"critical points and complex events are emitted as they happen".
+"""
+
+import asyncio
+
+from repro import obs
+
+
+class _Subscriber:
+    """One connected feed client with its bounded outbound queue."""
+
+    def __init__(self, writer: asyncio.StreamWriter, queue_size: int):
+        self.writer = writer
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+        self.task: asyncio.Task | None = None
+        self.evicted = False
+
+    async def run(self) -> None:
+        """Drain the queue into the socket until closed or evicted."""
+        try:
+            while True:
+                line = await self.queue.get()
+                if line is None:
+                    break
+                self.writer.write(line)
+                await self.writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+class FeedHub:
+    """Fan-out of feed lines to all live subscribers."""
+
+    def __init__(self, host: str, port: int, queue_size: int = 256):
+        self.host = host
+        self.port = port
+        self.queue_size = queue_size
+        self._server: asyncio.base_events.Server | None = None
+        self._subscribers: set[_Subscriber] = set()
+        self.evicted_count = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        subscriber = _Subscriber(writer, self.queue_size)
+        self._subscribers.add(subscriber)
+        obs.count("service.feed.subscribers")
+        obs.set_gauge("service.feed.active_subscribers", len(self._subscribers))
+        subscriber.task = asyncio.current_task()
+        try:
+            # The handler itself is the writer task; subscribers never
+            # send application data, so the read side is ignored.
+            await subscriber.run()
+        finally:
+            self._subscribers.discard(subscriber)
+            obs.set_gauge(
+                "service.feed.active_subscribers", len(self._subscribers)
+            )
+
+    def publish(self, line: str) -> None:
+        """Queue one line (newline appended) to every subscriber."""
+        payload = (line + "\n").encode("utf-8")
+        obs.count("service.feed.published")
+        for subscriber in list(self._subscribers):
+            if subscriber.evicted:
+                continue
+            try:
+                subscriber.queue.put_nowait(payload)
+            except asyncio.QueueFull:
+                self._evict(subscriber)
+
+    def _evict(self, subscriber: _Subscriber) -> None:
+        subscriber.evicted = True
+        self.evicted_count += 1
+        obs.count("service.feed.evicted")
+        # Unblock the writer task; anything still queued is abandoned.
+        while not subscriber.queue.empty():
+            subscriber.queue.get_nowait()
+        subscriber.queue.put_nowait(None)
+        self._subscribers.discard(subscriber)
+
+    async def close(self) -> None:
+        """Flush and disconnect every subscriber, then stop listening."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        tasks = []
+        for subscriber in list(self._subscribers):
+            try:
+                subscriber.queue.put_nowait(None)
+            except asyncio.QueueFull:
+                self._evict(subscriber)
+                continue
+            if subscriber.task is not None:
+                tasks.append(subscriber.task)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._subscribers.clear()
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)

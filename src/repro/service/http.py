@@ -1,0 +1,148 @@
+"""Minimal stdlib HTTP/1.1 API over asyncio streams.
+
+Four read-only endpoints, enough for health checks, Prometheus scrapes
+and operational queries — deliberately not a web framework:
+
+* ``GET /healthz`` — liveness plus pipeline/runtime vitals;
+* ``GET /metrics`` — the observability registry in Prometheus text
+  exposition format (:func:`repro.obs.render_prometheus`);
+* ``GET /vessels/{mmsi}`` — last-known velocity-vector snapshot;
+* ``GET /vessels`` — all tracked MMSIs;
+* ``GET /alerts?since=N`` — recent complex events from the alert ring.
+
+Connections are ``Connection: close``; every response carries a
+Content-Length so ``curl`` and the smoke tests behave.
+"""
+
+import asyncio
+import json
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro import obs
+from repro.obs.registry import render_prometheus
+
+
+class HttpApi:
+    """The query/metrics endpoint server."""
+
+    def __init__(self, supervisor, host: str, port: int):
+        self.supervisor = supervisor
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            parts = request_line.decode("ascii", errors="replace").split()
+            if len(parts) != 3:
+                await self._respond(writer, 400, {"error": "malformed request"})
+                return
+            method, target, _version = parts
+            # Drain headers; the API is GET-only so bodies are ignored.
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            if method != "GET":
+                await self._respond(
+                    writer, 405, {"error": f"method {method} not allowed"}
+                )
+                return
+            obs.count("service.http.requests")
+            status, payload, content_type = self._route(target)
+            await self._respond(writer, status, payload, content_type)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _route(self, target: str):
+        split = urlsplit(target)
+        path = unquote(split.path).rstrip("/") or "/"
+        query = parse_qs(split.query)
+        if path == "/healthz":
+            return 200, self.supervisor.health(), "application/json"
+        if path == "/metrics":
+            text = render_prometheus(obs.get_registry())
+            return 200, text, "text/plain; version=0.0.4; charset=utf-8"
+        if path == "/vessels":
+            return (
+                200,
+                {"vessels": self.supervisor.vessels.mmsis()},
+                "application/json",
+            )
+        if path.startswith("/vessels/"):
+            return self._vessel(path.removeprefix("/vessels/"))
+        if path == "/alerts":
+            return self._alerts(query)
+        return 404, {"error": f"no such endpoint: {path}"}, "application/json"
+
+    def _vessel(self, raw_mmsi: str):
+        try:
+            mmsi = int(raw_mmsi)
+        except ValueError:
+            return 400, {"error": f"invalid mmsi: {raw_mmsi}"}, "application/json"
+        snapshot = self.supervisor.vessels.get(mmsi)
+        if snapshot is None:
+            return 404, {"error": f"vessel {mmsi} not seen"}, "application/json"
+        return 200, snapshot.to_dict(), "application/json"
+
+    def _alerts(self, query: dict):
+        try:
+            since = int(query.get("since", ["0"])[0])
+        except ValueError:
+            return 400, {"error": "since must be an integer"}, "application/json"
+        ring = self.supervisor.alert_ring
+        return (
+            200,
+            {"alerts": ring.since(since), "last_seq": ring.last_seq},
+            "application/json",
+        )
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload,
+        content_type: str = "application/json",
+    ) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   405: "Method Not Allowed"}
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("ascii") + body)
+        await writer.drain()

@@ -1,0 +1,102 @@
+"""Wire formats shared by the live service and its offline twin.
+
+Three small, stable layers:
+
+* **Ingest lines** — raw ``!AIVDM`` sentences, optionally prefixed with a
+  receiver timestamp (``<epoch-seconds><TAB-or-space>!AIVDM...``), the
+  convention of timestamped NMEA feed archives.  Without a prefix the
+  server stamps the line with its own clock.
+* **Feed lines** — newline-delimited JSON.  One ``slide`` object per
+  completed window slide carrying the alerts and fresh critical points,
+  and one final ``finalize`` object when the service drains.
+* **JSON shapes** — :func:`alert_to_dict` / :func:`point_to_dict` define
+  the only serialization of alerts and critical points; the soak-parity
+  test compares the online and offline paths *byte for byte*, which only
+  means something because both sides call these functions.
+
+Everything here is pure and synchronous so the offline replay
+(:mod:`repro.service.replay`) produces identical bytes without sockets.
+"""
+
+import json
+
+from repro.maritime.recognizer import Alert
+from repro.pipeline.metrics import SlideReport
+from repro.tracking.types import CriticalPoint
+
+
+def parse_ingest_line(line: str, default_time: int) -> tuple[int, str] | None:
+    """Split one ingest line into ``(receive_time, sentence)``.
+
+    Returns ``None`` for blank lines and ``#`` comments.  A leading
+    integer field (separated by a tab or space) is the receiver
+    timestamp; otherwise ``default_time`` (the server's clock) is used.
+    """
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    if not line.startswith("!"):
+        head, _, rest = line.replace("\t", " ").partition(" ")
+        if rest:
+            try:
+                return int(head), rest.strip()
+            except ValueError:
+                pass
+    return default_time, line
+
+
+def format_ingest_line(receive_time: int, sentence: str) -> str:
+    """The timestamped ingest form: ``<epoch-seconds>\\t<sentence>``."""
+    return f"{receive_time}\t{sentence}"
+
+
+def alert_to_dict(alert: Alert) -> dict:
+    """JSON shape of one recognized complex event."""
+    return {
+        "kind": alert.kind,
+        "area": alert.area,
+        "since": alert.since,
+        "until": alert.until,
+        "mmsi": alert.mmsi,
+    }
+
+
+def point_to_dict(point: CriticalPoint) -> dict:
+    """JSON shape of one critical point (annotations sorted for stability)."""
+    return {
+        "mmsi": point.mmsi,
+        "lon": point.lon,
+        "lat": point.lat,
+        "timestamp": point.timestamp,
+        "annotations": sorted(a.value for a in point.annotations),
+        "speed_knots": point.speed_knots,
+        "heading_degrees": point.heading_degrees,
+        "duration_seconds": point.duration_seconds,
+    }
+
+
+def _dumps(payload: dict) -> str:
+    # Compact separators and sorted keys: the byte-identity contract.
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+
+
+def slide_feed_line(report: SlideReport, kind: str = "slide") -> str:
+    """One feed line for a completed slide (or the ``finalize`` flush)."""
+    return _dumps({
+        "type": kind,
+        "query_time": report.query_time,
+        "raw_positions": report.raw_positions,
+        "movement_events": report.movement_events,
+        "recognized": report.recognized_complex_events,
+        "alerts": [alert_to_dict(alert) for alert in report.alerts],
+        "critical_points": [
+            point_to_dict(point) for point in report.fresh_points
+        ],
+    })
+
+
+def feed_lines_for(report: SlideReport | None, kind: str = "slide") -> list[str]:
+    """Feed lines one report contributes (none for a ``None`` finalize)."""
+    if report is None:
+        return []
+    return [slide_feed_line(report, kind)]

@@ -1,0 +1,224 @@
+"""The service supervisor: one object that owns the whole live deployment.
+
+:class:`ServiceSupervisor` assembles the three network surfaces (ingest
+listener, subscription feed, HTTP API) around one embedded pipeline —
+the single-process :class:`~repro.pipeline.system.SurveillanceSystem` or,
+with ``shards > 1``, the process-parallel
+:class:`~repro.runtime.ParallelSurveillanceSystem`, whose own supervisor
+already handles worker crash-restart with exactly-once checkpoint
+recovery (docs/RUNTIME.md); this layer surfaces its restart counts on
+``/healthz`` and keeps serving through recoveries.
+
+Shutdown is graceful by contract: :meth:`drain_and_stop` stops accepting
+ingest, drains everything already buffered through the pipeline, flushes
+the final partial slide plus the end-of-stream ``finalize`` (open stops
+close, the synopsis archives into the MOD), publishes the last feed
+lines, disconnects subscribers, and only then closes the MOD and the
+sharded runtime.
+"""
+
+import asyncio
+import signal
+
+from repro import obs
+from repro.pipeline.config import SystemConfig
+from repro.pipeline.system import SurveillanceSystem
+from repro.service.batcher import SlideBatcher
+from repro.service.config import ServiceConfig
+from repro.service.feed import FeedHub
+from repro.service.http import HttpApi
+from repro.service.ingest import IngestQueue, IngestServer
+from repro.service.protocol import slide_feed_line
+from repro.service.state import AlertRing, VesselStateStore
+
+
+def build_system(world, specs, config: SystemConfig, service: ServiceConfig):
+    """The embedded pipeline for a service configuration."""
+    if service.shards > 1:
+        from repro.runtime import ParallelSurveillanceSystem
+
+        return ParallelSurveillanceSystem(
+            world,
+            specs,
+            config,
+            shards=service.shards,
+            checkpoint_dir=service.checkpoint_dir,
+        )
+    return SurveillanceSystem(world, specs, config)
+
+
+class ServiceSupervisor:
+    """Lifecycle owner of the live service.
+
+    Parameters
+    ----------
+    world, specs, config:
+        Exactly as for :class:`~repro.pipeline.system.SurveillanceSystem`.
+    service:
+        Network and backpressure knobs (:class:`ServiceConfig`).
+    system_factory:
+        Test hook: replaces :func:`build_system` to wrap or slow the
+        embedded pipeline (the load-shedding soak test injects delays).
+    """
+
+    def __init__(
+        self,
+        world,
+        specs,
+        config: SystemConfig | None = None,
+        service: ServiceConfig | None = None,
+        system_factory=None,
+    ):
+        self.config = config or SystemConfig()
+        self.service = service or ServiceConfig()
+        factory = system_factory or build_system
+        self.system = factory(world, specs, self.config, self.service)
+        self.vessels = VesselStateStore()
+        self.alert_ring = AlertRing(self.service.alert_ring_size)
+        self.queue = IngestQueue(self.service.ingest_queue_size)
+        self.ingest = IngestServer(
+            self.queue, self.service.host, self.service.ingest_port
+        )
+        self.feed = FeedHub(
+            self.service.host,
+            self.service.feed_port,
+            self.service.subscriber_queue_size,
+        )
+        self.http = HttpApi(self, self.service.host, self.service.http_port)
+        self.batcher = SlideBatcher(
+            self.system,
+            self.queue,
+            slide_seconds=self.config.window.slide_seconds,
+            on_report=self._on_report,
+            on_position=lambda position: self.vessels.update([position]),
+            record_ingest=self.service.record_ingest,
+        )
+        self._batcher_task: asyncio.Task | None = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # slide fan-out
+    # ------------------------------------------------------------------
+
+    def _on_report(self, report, kind: str) -> None:
+        """Publish one completed slide to every query/streaming surface."""
+        self.feed.publish(slide_feed_line(report, kind))
+        self.alert_ring.append(report.query_time, report.alerts)
+        obs.count("service.alerts_published", len(report.alerts))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind all three servers and start the batcher."""
+        await self.ingest.start()
+        await self.feed.start()
+        await self.http.start()
+        self._batcher_task = asyncio.ensure_future(self.batcher.run())
+        obs.set_gauge("service.up", 1)
+
+    async def drain_and_stop(self) -> None:
+        """Graceful shutdown: drain ingest, flush the final slide, close."""
+        if self._stopped:
+            return
+        self._stopped = True
+        # 1. Stop accepting new feeds; buffered sentences keep flowing.
+        await self.ingest.stop()
+        self.queue.close()
+        # 2. The batcher returns once the queue is drained; then flush the
+        #    last partial slide and the end-of-stream finalize.
+        if self._batcher_task is not None:
+            await self._batcher_task
+        await self.batcher.drain()
+        # 3. Disconnect subscribers after the final lines are queued.
+        await self.feed.close()
+        await self.http.stop()
+        # 4. Release the pipeline: sharded workers and checkpoints first,
+        #    then the MOD connection (staging flushed by finalize above).
+        if hasattr(self.system, "close"):
+            self.system.close()
+        self.system.database.close()
+        obs.set_gauge("service.up", 0)
+
+    async def serve_until(self, stop_event: asyncio.Event) -> None:
+        """Serve until ``stop_event`` fires, then drain gracefully."""
+        await stop_event.wait()
+        await self.drain_and_stop()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload."""
+        payload = {
+            "status": "draining" if self._stopped else "ok",
+            "slides": self.batcher.slides_processed,
+            "queue_depth": len(self.queue),
+            "ingested": self.queue.put_count,
+            "shed": self.queue.shed_count,
+            "pipeline_errors": self.batcher.pipeline_errors,
+            "vessels": len(self.vessels),
+            "alerts_last_seq": self.alert_ring.last_seq,
+            "feed_subscribers": self.feed.subscriber_count,
+            "feed_evicted": self.feed.evicted_count,
+            "shards": self.service.shards,
+            "scanner": {
+                "accepted": self.batcher.scanner.statistics.accepted,
+                "rejected": self.batcher.scanner.statistics.rejected,
+                "reassembled": self.batcher.scanner.statistics.reassembled,
+                "fragmented_dropped": (
+                    self.batcher.scanner.statistics.fragmented_dropped
+                ),
+            },
+            "ports": self.ports(),
+        }
+        if hasattr(self.system, "restart_count"):
+            payload["runtime_restarts"] = self.system.restart_count()
+        return payload
+
+    def ports(self) -> dict:
+        """Actual bound ports (resolves ephemeral ``0`` requests)."""
+        return {
+            "ingest": self.ingest.port,
+            "feed": self.feed.port,
+            "http": self.http.port,
+        }
+
+
+async def run_service(
+    world,
+    specs,
+    config: SystemConfig | None = None,
+    service: ServiceConfig | None = None,
+    announce=print,
+) -> ServiceSupervisor:
+    """Run a service until SIGINT/SIGTERM; returns after graceful drain.
+
+    This is what ``python -m repro --serve`` calls: it installs signal
+    handlers, prints the bound ports, and blocks until a signal triggers
+    the drain-and-stop sequence.
+    """
+    supervisor = ServiceSupervisor(world, specs, config, service)
+    await supervisor.start()
+    ports = supervisor.ports()
+    announce(
+        f"live service up: ingest={ports['ingest']} feed={ports['feed']} "
+        f"http={ports['http']} (slide={supervisor.config.window.slide_seconds}s, "
+        f"shards={supervisor.service.shards})"
+    )
+    stop_event = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop_event.set)
+        except NotImplementedError:  # non-Unix event loops
+            signal.signal(signum, lambda *_: stop_event.set())
+    await supervisor.serve_until(stop_event)
+    announce(
+        f"service drained: {supervisor.batcher.slides_processed} slides, "
+        f"{supervisor.queue.put_count} sentences ingested, "
+        f"{supervisor.queue.shed_count} shed"
+    )
+    return supervisor

@@ -1,0 +1,117 @@
+"""Multi-fragment AIVDM reassembly: framing, scanner round trips, loss accounting."""
+
+import pytest
+
+from repro.ais import (
+    DataScanner,
+    PositionReport,
+    encode_position_report,
+    unwrap_aivdm,
+    wrap_aivdm,
+    wrap_aivdm_fragments,
+)
+from repro.ais.scanner import FragmentAssembler
+
+
+def type19_report(mmsi: int = 237_001_000) -> PositionReport:
+    return PositionReport(
+        message_type=19,
+        mmsi=mmsi,
+        lon=24.1234,
+        lat=37.5678,
+        speed_knots=11.5,
+        course_degrees=42.0,
+        second_of_minute=30,
+    )
+
+
+class TestWrapAivdmFragments:
+    def test_two_fragments_carry_shared_framing(self):
+        payload, fill = encode_position_report(type19_report())
+        first, second = wrap_aivdm_fragments(payload, fill, message_id=3)
+        one = unwrap_aivdm(first)
+        two = unwrap_aivdm(second)
+        assert (one.fragment_count, one.fragment_number) == (2, 1)
+        assert (two.fragment_count, two.fragment_number) == (2, 2)
+        assert one.message_id == two.message_id == "3"
+        assert one.payload + two.payload == payload
+        assert one.fill_bits == 0 and two.fill_bits == fill
+
+    def test_rejects_empty_fragments(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            wrap_aivdm_fragments("abc", 0, fragments=4)
+
+
+class TestScannerReassembly:
+    def test_round_trip_matches_single_fragment_scan(self):
+        payload, fill = encode_position_report(type19_report())
+        single = DataScanner().scan(100, wrap_aivdm(payload, fill))
+        scanner = DataScanner()
+        first, second = wrap_aivdm_fragments(payload, fill)
+        assert scanner.scan(99, first) is None
+        recovered = scanner.scan(100, second)
+        assert recovered == single
+        assert scanner.statistics.reassembled == 1
+        assert scanner.statistics.accepted == 1
+        assert scanner.statistics.fragmented_dropped == 0
+
+    def test_out_of_order_fragments_reassemble(self):
+        payload, fill = encode_position_report(type19_report())
+        first, second = wrap_aivdm_fragments(payload, fill)
+        scanner = DataScanner()
+        assert scanner.scan(99, second) is None
+        assert scanner.scan(100, first) is not None
+
+    def test_interleaved_groups_keyed_by_message_id(self):
+        pay_a, fill_a = encode_position_report(type19_report(237_000_111))
+        pay_b, fill_b = encode_position_report(type19_report(237_000_222))
+        a1, a2 = wrap_aivdm_fragments(pay_a, fill_a, message_id=1)
+        b1, b2 = wrap_aivdm_fragments(pay_b, fill_b, message_id=2)
+        scanner = DataScanner()
+        assert scanner.scan(1, a1) is None
+        assert scanner.scan(2, b1) is None
+        position_b = scanner.scan(3, b2)
+        position_a = scanner.scan(4, a2)
+        assert position_a.mmsi == 237_000_111
+        assert position_b.mmsi == 237_000_222
+        assert scanner.statistics.reassembled == 2
+
+    def test_orphan_fragment_counted_on_flush(self):
+        payload, fill = encode_position_report(type19_report())
+        first, _ = wrap_aivdm_fragments(payload, fill)
+        scanner = DataScanner()
+        assert scanner.scan(1, first) is None
+        assert scanner.flush() == 1
+        assert scanner.statistics.fragmented_dropped == 1
+        assert scanner.statistics.rejected == 1
+
+    def test_superseded_group_counted_as_dropped(self):
+        payload, fill = encode_position_report(type19_report())
+        first, second = wrap_aivdm_fragments(payload, fill, message_id=7)
+        scanner = DataScanner()
+        assert scanner.scan(1, first) is None
+        # The same (channel, id, count, number) arrives again: the stale
+        # group is dropped, the new fragment starts a fresh one.
+        assert scanner.scan(2, first) is None
+        assert scanner.statistics.fragmented_dropped == 1
+        assert scanner.scan(3, second) is not None
+        assert scanner.statistics.reassembled == 1
+
+    def test_pending_overflow_evicts_oldest(self):
+        assembler = FragmentAssembler(max_pending=2)
+        payload, fill = encode_position_report(type19_report())
+        for message_id in range(4):
+            first, _ = wrap_aivdm_fragments(
+                payload, fill, message_id=message_id
+            )
+            assert assembler.add(unwrap_aivdm(first)) is None
+        assert assembler.dropped_sentences == 2
+
+    def test_corrupt_fragment_checksum_still_counted(self):
+        payload, fill = encode_position_report(type19_report())
+        first, second = wrap_aivdm_fragments(payload, fill)
+        scanner = DataScanner()
+        assert scanner.scan(1, first[:-2] + "ZZ") is None
+        assert scanner.statistics.bad_checksum == 1
+        assert scanner.scan(2, second) is None
+        assert scanner.flush() == 1  # the lone valid fragment never completed

@@ -83,9 +83,17 @@ class TestRejection:
         with pytest.raises(NmeaFormatError):
             unwrap_aivdm(f"!{body}*{nmea_checksum(body)}")
 
-    def test_multi_fragment_rejected(self):
+    def test_multi_fragment_parses_framing(self):
         body = "AIVDM,2,1,5,A,0000,0"
-        with pytest.raises(NmeaFormatError, match="multi-fragment"):
+        parsed = unwrap_aivdm(f"!{body}*{nmea_checksum(body)}")
+        assert parsed.is_fragmented
+        assert parsed.fragment_count == 2
+        assert parsed.fragment_number == 1
+        assert parsed.message_id == "5"
+
+    def test_inconsistent_fragment_framing_rejected(self):
+        body = "AIVDM,2,3,5,A,0000,0"
+        with pytest.raises(NmeaFormatError, match="inconsistent fragment"):
             unwrap_aivdm(f"!{body}*{nmea_checksum(body)}")
 
     def test_non_numeric_framing(self):

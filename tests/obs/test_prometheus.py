@@ -1,0 +1,114 @@
+"""Tests for the Prometheus text-format export of the registry."""
+
+import re
+
+from repro.obs import MetricsRegistry, render_prometheus
+
+#: Prometheus text format 0.0.4: `name{labels} value` or `# TYPE|HELP ...`.
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (?P<value>[-+]?(\d+(\.\d+)?([eE][-+]?\d+)?|Inf|NaN))$"
+)
+TYPE_LINE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<type>counter|gauge|summary|histogram|untyped)$"
+)
+
+
+def parse_exposition(text: str) -> dict[str, dict]:
+    """Validate the whole exposition; returns {family: {type, samples}}.
+
+    Raises AssertionError on any line that is not a valid comment or
+    sample, on samples preceding their TYPE line, or on duplicate TYPE
+    declarations — the rules Prometheus' own parser enforces.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    families: dict[str, dict] = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            match = TYPE_LINE.match(line)
+            assert match, f"malformed comment line: {line!r}"
+            name = match.group("name")
+            assert name not in families, f"duplicate TYPE for {name}"
+            families[name] = {"type": match.group("type"), "samples": {}}
+            continue
+        match = SAMPLE_LINE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        sample = match.group("name")
+        base = re.sub(r"_(sum|count|total|bucket)$", "", sample)
+        family = sample if sample in families else base
+        assert family in families, f"sample {sample} precedes its TYPE line"
+        key = sample + (match.group("labels") or "")
+        families[family]["samples"][key] = float(
+            match.group("value").replace("Inf", "inf")
+        )
+    return families
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("pipeline.raw_positions", 120)
+    registry.inc("service.ingest.shed", 3)
+    registry.set_gauge("pipeline.compression_ratio", 0.94)
+    for value in (0.001, 0.002, 0.004, 0.2):
+        registry.observe("service.ingest.latency_seconds", value)
+    with registry.span("pipeline.slide"):
+        pass
+    return registry
+
+
+class TestRenderPrometheus:
+    def test_counters_get_total_suffix(self):
+        families = parse_exposition(render_prometheus(populated_registry()))
+        family = families["repro_pipeline_raw_positions_total"]
+        assert family["type"] == "counter"
+        assert family["samples"]["repro_pipeline_raw_positions_total"] == 120
+
+    def test_gauges_render_verbatim(self):
+        families = parse_exposition(render_prometheus(populated_registry()))
+        family = families["repro_pipeline_compression_ratio"]
+        assert family["type"] == "gauge"
+        assert family["samples"]["repro_pipeline_compression_ratio"] == 0.94
+
+    def test_histograms_render_as_summaries(self):
+        families = parse_exposition(render_prometheus(populated_registry()))
+        family = families["repro_service_ingest_latency_seconds"]
+        assert family["type"] == "summary"
+        samples = family["samples"]
+        assert samples["repro_service_ingest_latency_seconds_count"] == 4
+        assert samples["repro_service_ingest_latency_seconds_sum"] == (
+            0.001 + 0.002 + 0.004 + 0.2
+        )
+        assert 'repro_service_ingest_latency_seconds{quantile="0.5"}' in samples
+        assert 'repro_service_ingest_latency_seconds{quantile="0.99"}' in samples
+
+    def test_spans_render_under_span_prefix(self):
+        families = parse_exposition(render_prometheus(populated_registry()))
+        family = families["repro_span_pipeline_slide"]
+        assert family["type"] == "summary"
+        assert family["samples"]["repro_span_pipeline_slide_count"] == 1
+
+    def test_whole_exposition_is_valid(self):
+        # Every line of a fully populated registry parses.
+        text = render_prometheus(populated_registry())
+        families = parse_exposition(text)
+        assert len(families) == 5
+
+    def test_empty_registry_renders_empty_exposition(self):
+        text = render_prometheus(MetricsRegistry())
+        assert text == "\n"
+
+    def test_dots_and_invalid_chars_sanitized(self):
+        registry = MetricsRegistry()
+        registry.inc("weird-name.with/chars", 1)
+        text = render_prometheus(registry)
+        assert "repro_weird_name_with_chars_total 1" in text
+        parse_exposition(text)
+
+    def test_custom_prefix(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("up", 1)
+        assert "maritime_up 1" in render_prometheus(registry, prefix="maritime")

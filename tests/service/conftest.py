@@ -1,0 +1,46 @@
+"""Shared helpers for the live-service tests."""
+
+import pytest
+
+from repro.ais import (
+    PositionReport,
+    encode_position_report,
+    wrap_aivdm,
+    wrap_aivdm_fragments,
+)
+
+
+def to_sentences(positions, fragment_every: int = 0) -> list[tuple[int, str]]:
+    """Encode positional tuples as (receive_time, AIVDM sentence) pairs.
+
+    ``fragment_every`` > 0 sends every N-th report as a two-fragment
+    type-19 group, exercising reassembly on both the online and offline
+    paths identically.
+    """
+    sentences = []
+    for index, position in enumerate(positions):
+        fragmented = fragment_every and index % fragment_every == 0
+        report = PositionReport(
+            message_type=19 if fragmented else 1,
+            mmsi=position.mmsi,
+            lon=position.lon,
+            lat=position.lat,
+            speed_knots=10.0,
+            course_degrees=90.0,
+            second_of_minute=position.timestamp % 60,
+        )
+        payload, fill = encode_position_report(report)
+        if fragmented:
+            for sentence in wrap_aivdm_fragments(
+                payload, fill, message_id=index % 10
+            ):
+                sentences.append((position.timestamp, sentence))
+        else:
+            sentences.append((position.timestamp, wrap_aivdm(payload, fill)))
+    return sentences
+
+
+@pytest.fixture(scope="session")
+def soak_sentences(small_fleet):
+    """The small fleet's stream as raw sentences, fragments included."""
+    return to_sentences(small_fleet["stream"], fragment_every=40)

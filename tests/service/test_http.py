@@ -1,0 +1,127 @@
+"""HTTP API tests over real sockets."""
+
+import asyncio
+import json
+
+from repro import obs
+from repro.ais.stream import PositionalTuple
+from repro.maritime.recognizer import Alert
+from repro.service import AlertRing, HttpApi, VesselStateStore
+from tests.obs.test_prometheus import parse_exposition
+
+
+class FakeSupervisor:
+    """Just the three surfaces HttpApi reads from a real supervisor."""
+
+    def __init__(self):
+        self.vessels = VesselStateStore()
+        self.alert_ring = AlertRing(16)
+
+    def health(self):
+        return {"status": "ok", "slides": 3}
+
+
+async def http_request(port: int, target: str, method: str = "GET"):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"{method} {target} HTTP/1.1\r\nHost: test\r\n\r\n".encode("ascii")
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line, *header_lines = head.decode("ascii").split("\r\n")
+    headers = dict(
+        line.split(": ", 1) for line in header_lines if ": " in line
+    )
+    assert int(headers["Content-Length"]) == len(body)
+    return int(status_line.split()[1]), headers, body.decode("utf-8")
+
+
+def serve(scenario):
+    """Run ``scenario(api, supervisor)`` against a live HttpApi."""
+
+    async def runner():
+        supervisor = FakeSupervisor()
+        api = HttpApi(supervisor, "127.0.0.1", 0)
+        await api.start()
+        try:
+            return await scenario(api, supervisor)
+        finally:
+            await api.stop()
+
+    return asyncio.run(runner())
+
+
+class TestHttpApi:
+    def test_healthz(self):
+        async def scenario(api, supervisor):
+            return await http_request(api.port, "/healthz")
+
+        status, headers, body = serve(scenario)
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body) == {"status": "ok", "slides": 3}
+
+    def test_metrics_is_valid_exposition(self):
+        async def scenario(api, supervisor):
+            with obs.activate(obs.MetricsRegistry()):
+                obs.count("service.ingest.shed", 5)
+                obs.set_gauge("service.up", 1)
+                return await http_request(api.port, "/metrics")
+
+        status, headers, body = serve(scenario)
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        families = parse_exposition(body)
+        assert families["repro_service_ingest_shed_total"]["type"] == "counter"
+        samples = families["repro_service_ingest_shed_total"]["samples"]
+        assert samples["repro_service_ingest_shed_total"] == 5.0
+
+    def test_vessel_snapshot_found_and_missing(self):
+        async def scenario(api, supervisor):
+            supervisor.vessels.update([PositionalTuple(7, 24.0, 37.0, 100)])
+            found = await http_request(api.port, "/vessels/7")
+            missing = await http_request(api.port, "/vessels/8")
+            bad = await http_request(api.port, "/vessels/not-a-number")
+            listing = await http_request(api.port, "/vessels")
+            return found, missing, bad, listing
+
+        found, missing, bad, listing = serve(scenario)
+        assert found[0] == 200
+        assert json.loads(found[2])["mmsi"] == 7
+        assert missing[0] == 404
+        assert bad[0] == 400
+        assert json.loads(listing[2]) == {"vessels": [7]}
+
+    def test_alerts_since_cursor(self):
+        async def scenario(api, supervisor):
+            supervisor.alert_ring.append(
+                1800,
+                (
+                    Alert("suspicious", "area_1", 60, None, 1),
+                    Alert("illegalFishing", "area_2", 90, 120, 2),
+                ),
+            )
+            everything = await http_request(api.port, "/alerts")
+            tail = await http_request(api.port, "/alerts?since=1")
+            bad = await http_request(api.port, "/alerts?since=xyz")
+            return everything, tail, bad
+
+        everything, tail, bad = serve(scenario)
+        payload = json.loads(everything[2])
+        assert [a["seq"] for a in payload["alerts"]] == [1, 2]
+        assert payload["last_seq"] == 2
+        assert [a["seq"] for a in json.loads(tail[2])["alerts"]] == [2]
+        assert bad[0] == 400
+
+    def test_unknown_path_and_bad_method(self):
+        async def scenario(api, supervisor):
+            missing = await http_request(api.port, "/nope")
+            post = await http_request(api.port, "/healthz", method="POST")
+            return missing, post
+
+        missing, post = serve(scenario)
+        assert missing[0] == 404
+        assert post[0] == 405

@@ -1,0 +1,145 @@
+"""Ingest queue shedding semantics and the TCP listener."""
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.service import IngestQueue, IngestServer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestIngestQueue:
+    def test_fifo_under_capacity(self):
+        async def scenario():
+            queue = IngestQueue(capacity=4)
+            queue.put(1, "a")
+            queue.put(2, "b")
+            first = await queue.get()
+            second = await queue.get()
+            return first[:2], second[:2]
+
+        assert run(scenario()) == ((1, "a"), (2, "b"))
+
+    def test_overflow_sheds_oldest_and_counts(self):
+        async def scenario():
+            with obs.activate(obs.MetricsRegistry()) as registry:
+                queue = IngestQueue(capacity=3)
+                for index in range(10):
+                    queue.put(index, f"s{index}")
+                kept = [(await queue.get())[1] for _ in range(len(queue))]
+                return queue.shed_count, kept, registry.counter(
+                    "service.ingest.shed"
+                ).value
+
+        shed, kept, counted = run(scenario())
+        assert shed == 7
+        assert kept == ["s7", "s8", "s9"]  # newest survive, oldest shed
+        assert counted == 7
+
+    def test_get_returns_none_after_close_and_drain(self):
+        async def scenario():
+            queue = IngestQueue(capacity=4)
+            queue.put(1, "a")
+            queue.close()
+            first = await queue.get()
+            sentinel = await queue.get()
+            return first[1], sentinel
+
+        assert run(scenario()) == ("a", None)
+
+    def test_put_after_close_is_counted_not_silent(self):
+        async def scenario():
+            with obs.activate(obs.MetricsRegistry()) as registry:
+                queue = IngestQueue(capacity=4)
+                queue.close()
+                queue.put(1, "late")
+                return len(queue), registry.counter(
+                    "service.ingest.dropped_after_close"
+                ).value
+
+        assert run(scenario()) == (0, 1)
+
+    def test_get_waits_for_put(self):
+        async def scenario():
+            queue = IngestQueue(capacity=4)
+
+            async def producer():
+                await asyncio.sleep(0.01)
+                queue.put(5, "later")
+
+            task = asyncio.ensure_future(producer())
+            item = await asyncio.wait_for(queue.get(), timeout=2)
+            await task
+            return item[:2]
+
+        assert run(scenario()) == ((5, "later"))
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            IngestQueue(0)
+
+
+class TestIngestServer:
+    def test_many_clients_one_queue(self):
+        async def scenario():
+            queue = IngestQueue(capacity=100)
+            server = IngestServer(queue, "127.0.0.1", 0, clock=lambda: 42)
+            await server.start()
+            try:
+                async def client(lines):
+                    _, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port
+                    )
+                    for line in lines:
+                        writer.write(line.encode() + b"\n")
+                    await writer.drain()
+                    writer.close()
+                    await writer.wait_closed()
+
+                await asyncio.gather(
+                    client(["100\t!AIVDM,a", "# comment", ""]),
+                    client(["!AIVDM,b"]),
+                )
+                while server.open_connections:
+                    await asyncio.sleep(0.005)
+                items = []
+                while len(queue):
+                    items.append((await queue.get())[:2])
+                return sorted(items), len(server.connections)
+
+            finally:
+                await server.stop()
+
+        items, connections = run(scenario())
+        # Comments/blank lines never reach the queue; the bare sentence
+        # was stamped with the injected clock.
+        assert items == [(42, "!AIVDM,b"), (100, "!AIVDM,a")]
+        assert connections == 2
+
+    def test_per_connection_stats(self):
+        async def scenario():
+            queue = IngestQueue(capacity=10)
+            server = IngestServer(queue, "127.0.0.1", 0)
+            await server.start()
+            try:
+                _, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b"1\t!AIVDM,x\n2\t!AIVDM,y\n")
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                while server.open_connections:
+                    await asyncio.sleep(0.005)
+                return server.connections[0]
+            finally:
+                await server.stop()
+
+        stats = run(scenario())
+        assert stats.lines == 2
+        assert stats.bytes == len(b"1\t!AIVDM,x\n2\t!AIVDM,y\n")
+        assert stats.closed

@@ -1,0 +1,79 @@
+"""Wire-format tests: ingest line parsing and feed serialization stability."""
+
+import json
+
+from repro.maritime.recognizer import Alert
+from repro.pipeline.metrics import SlideReport
+from repro.service import (
+    format_ingest_line,
+    parse_ingest_line,
+    slide_feed_line,
+)
+from repro.tracking.types import CriticalPoint, MovementEventType
+
+
+class TestParseIngestLine:
+    def test_timestamped_tab_form(self):
+        assert parse_ingest_line("123\t!AIVDM,...", 999) == (123, "!AIVDM,...")
+
+    def test_timestamped_space_form(self):
+        assert parse_ingest_line("123 !AIVDM,...", 999) == (123, "!AIVDM,...")
+
+    def test_bare_sentence_gets_default_time(self):
+        assert parse_ingest_line("!AIVDM,...", 999) == (999, "!AIVDM,...")
+
+    def test_blank_and_comment_lines_skipped(self):
+        assert parse_ingest_line("", 0) is None
+        assert parse_ingest_line("   \r\n", 0) is None
+        assert parse_ingest_line("# a comment", 0) is None
+
+    def test_garbage_prefix_passes_through_for_scanner_to_reject(self):
+        # A non-integer first field is not a timestamp; the whole line
+        # goes to the scanner (which counts it as bad_format).
+        time, sentence = parse_ingest_line("junk line", 7)
+        assert time == 7
+        assert sentence == "junk line"
+
+    def test_round_trip_with_format(self):
+        line = format_ingest_line(456, "!AIVDM,1,1,,A,x,0*00")
+        assert parse_ingest_line(line, 0) == (456, "!AIVDM,1,1,,A,x,0*00")
+
+
+class TestSlideFeedLine:
+    def report(self):
+        point = CriticalPoint(
+            mmsi=1,
+            lon=24.5,
+            lat=37.5,
+            timestamp=1700,
+            annotations=frozenset({MovementEventType.TURN}),
+            speed_mps=5.0,
+            heading_degrees=90.0,
+        )
+        return SlideReport(
+            query_time=1800,
+            raw_positions=10,
+            movement_events=3,
+            fresh_critical_points=1,
+            expired_critical_points=0,
+            recognized_complex_events=1,
+            alerts=(Alert("suspicious", "area_1", 60, None, 1),),
+            timings={"tracking": 0.001},
+            fresh_points=(point,),
+        )
+
+    def test_line_is_single_line_json(self):
+        line = slide_feed_line(self.report())
+        assert "\n" not in line
+        payload = json.loads(line)
+        assert payload["type"] == "slide"
+        assert payload["query_time"] == 1800
+        assert payload["alerts"][0]["kind"] == "suspicious"
+        assert payload["critical_points"][0]["annotations"] == ["turn"]
+
+    def test_serialization_is_deterministic(self):
+        assert slide_feed_line(self.report()) == slide_feed_line(self.report())
+
+    def test_finalize_kind(self):
+        payload = json.loads(slide_feed_line(self.report(), "finalize"))
+        assert payload["type"] == "finalize"

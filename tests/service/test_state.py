@@ -1,0 +1,79 @@
+"""Vessel snapshot store and alert ring tests."""
+
+import pytest
+
+from repro.ais.stream import PositionalTuple
+from repro.maritime.recognizer import Alert
+from repro.service import AlertRing, VesselStateStore
+
+
+class TestVesselStateStore:
+    def test_first_position_has_zero_velocity(self):
+        store = VesselStateStore()
+        store.update([PositionalTuple(1, 24.0, 37.0, 100)])
+        snapshot = store.get(1)
+        assert snapshot.speed_mps == 0.0
+        assert snapshot.positions_seen == 1
+
+    def test_velocity_derived_from_consecutive_positions(self):
+        store = VesselStateStore()
+        store.update([
+            PositionalTuple(1, 24.0, 37.0, 0),
+            # ~0.01 deg of longitude at 37N is ~888 m, heading ~east.
+            PositionalTuple(1, 24.01, 37.0, 100),
+        ])
+        snapshot = store.get(1)
+        assert snapshot.speed_mps == pytest.approx(8.88, rel=0.05)
+        assert snapshot.heading_degrees == pytest.approx(90.0, abs=1.0)
+        assert snapshot.timestamp == 100
+        assert snapshot.positions_seen == 2
+
+    def test_vessels_are_independent(self):
+        store = VesselStateStore()
+        store.update([
+            PositionalTuple(1, 24.0, 37.0, 0),
+            PositionalTuple(2, 25.0, 38.0, 0),
+        ])
+        assert store.mmsis() == [1, 2]
+        assert store.get(3) is None
+
+    def test_snapshot_dict_shape(self):
+        store = VesselStateStore()
+        store.update([PositionalTuple(9, 24.0, 37.0, 5)])
+        payload = store.get(9).to_dict()
+        assert payload["mmsi"] == 9
+        assert set(payload) >= {
+            "lon", "lat", "timestamp", "speed_mps", "speed_knots",
+            "heading_degrees", "positions_seen",
+        }
+
+
+class TestAlertRing:
+    def alert(self, kind="suspicious"):
+        return Alert(kind, "area_1", 60, None, 1)
+
+    def test_sequences_are_monotone(self):
+        ring = AlertRing(10)
+        ring.append(1800, (self.alert(), self.alert("illegalFishing")))
+        ring.append(3600, (self.alert(),))
+        assert [e["seq"] for e in ring.since(0)] == [1, 2, 3]
+        assert ring.last_seq == 3
+
+    def test_since_cursor(self):
+        ring = AlertRing(10)
+        ring.append(1800, (self.alert(), self.alert()))
+        assert [e["seq"] for e in ring.since(1)] == [2]
+        assert ring.since(2) == []
+        assert ring.since(99) == []
+
+    def test_capacity_evicts_oldest(self):
+        ring = AlertRing(2)
+        for query_time in (1, 2, 3):
+            ring.append(query_time, (self.alert(),))
+        entries = ring.since(0)
+        assert [e["seq"] for e in entries] == [2, 3]
+        assert len(ring) == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            AlertRing(0)
