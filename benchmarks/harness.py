@@ -284,6 +284,8 @@ def run_service_benchmark(
     fleet_size: int = FLEET_SIZE,
     duration: int = DURATION_SECONDS,
     window: WindowSpec | None = None,
+    wal_dir: str | None = None,
+    wal_fsync: str = "batch",
 ) -> dict:
     """Measure the live service end to end over real TCP sockets.
 
@@ -293,6 +295,9 @@ def run_service_benchmark(
     collects every slide line, then drains gracefully.  Returns the
     ``service`` section of ``BENCH_pipeline.json``: ingest p50/p99 latency
     (socket enqueue to batcher dequeue), sentences/sec and alerts/sec.
+
+    ``wal_dir`` turns on the write-ahead ingest journal for the run —
+    the knob ``run_chaos_benchmark`` uses to price durability.
     """
     import asyncio
     import json
@@ -369,6 +374,8 @@ def run_service_benchmark(
                 feed_port=0,
                 http_port=0,
                 ingest_queue_size=len(sentences) + 1,
+                wal_dir=wal_dir,
+                wal_fsync=wal_fsync,
             ),
         )
         elapsed, feed_lines = asyncio.run(drive(supervisor))
@@ -395,6 +402,104 @@ def run_service_benchmark(
                 "max": (latency.max if latency.count else 0.0) * 1000.0,
             },
         }
+
+
+def run_chaos_benchmark(
+    fleet_size: int = FLEET_SIZE,
+    duration: int = DURATION_SECONDS,
+    window: WindowSpec | None = None,
+) -> dict:
+    """Price the durability layer: WAL overhead and recovery time.
+
+    Two measurements for the ``chaos`` section of ``BENCH_pipeline.json``
+    (see docs/RESILIENCE.md):
+
+    * **WAL steady-state overhead** — the service benchmark twice on the
+      same stream, without and with the write-ahead ingest journal
+      (``fsync=batch``, the intended operating point); the overhead is
+      the relative slowdown of the journaled run.  Target: < 15 %.
+    * **Recovery time** — a journal pre-populated with the whole stream
+      is replayed through a fresh supervisor (exactly the restart path),
+      timing the replay and the subsequent drain.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.ais import encode_position_report, wrap_aivdm
+    from repro.ais.messages import PositionReport
+    from repro.resilience import IngestJournal
+    from repro.service import ServiceConfig, ServiceSupervisor
+
+    window = window or WindowSpec.of_minutes(120, 30)
+    baseline = run_service_benchmark(fleet_size, duration, window)
+    with tempfile.TemporaryDirectory(prefix="bench-wal-") as wal_dir:
+        journaled = run_service_benchmark(
+            fleet_size, duration, window, wal_dir=wal_dir
+        )
+    base_seconds = baseline["elapsed_seconds"]
+    wal_seconds = journaled["elapsed_seconds"]
+    overhead_pct = (
+        (wal_seconds - base_seconds) / base_seconds * 100.0
+        if base_seconds > 0 else 0.0
+    )
+
+    _, specs, stream = benchmark_fleet(fleet_size, duration)
+    with tempfile.TemporaryDirectory(prefix="bench-recovery-") as recovery_dir:
+        journal = IngestJournal(recovery_dir)
+        for position in stream:
+            payload, fill = encode_position_report(PositionReport(
+                message_type=1,
+                mmsi=position.mmsi,
+                lon=position.lon,
+                lat=position.lat,
+                speed_knots=10.0,
+                course_degrees=90.0,
+                second_of_minute=position.timestamp % 60,
+            ))
+            journal.append(position.timestamp, wrap_aivdm(payload, fill))
+        journal.sync()
+        journal.close()
+
+        async def recover():
+            supervisor = ServiceSupervisor(
+                benchmark_world(),
+                specs,
+                SystemConfig(window=window),
+                ServiceConfig(
+                    ingest_port=0, feed_port=0, http_port=0,
+                    wal_dir=recovery_dir,
+                ),
+            )
+            started = time.perf_counter()
+            await supervisor.start()  # journal replay happens in here
+            replay_seconds = time.perf_counter() - started
+            await supervisor.drain_and_stop()
+            drained_seconds = time.perf_counter() - started
+            return supervisor.recovered_records, replay_seconds, drained_seconds
+
+        with obs.activate(obs.MetricsRegistry()):
+            records, replay_seconds, drained_seconds = asyncio.run(recover())
+
+    return {
+        "fleet_size": fleet_size,
+        "duration_seconds": duration,
+        "wal_overhead": {
+            "fsync": "batch",
+            "baseline_elapsed_seconds": base_seconds,
+            "wal_elapsed_seconds": wal_seconds,
+            "overhead_pct": overhead_pct,
+            "target_pct": 15.0,
+            "sentences": baseline["sentences"],
+        },
+        "recovery": {
+            "journaled_records": records,
+            "replay_seconds": replay_seconds,
+            "replay_records_per_sec": (
+                records / replay_seconds if replay_seconds > 0 else 0.0
+            ),
+            "drained_seconds": drained_seconds,
+        },
+    }
 
 
 def record_result(name: str, lines: list[str]) -> Path:
@@ -431,6 +536,11 @@ if __name__ == "__main__":
                         help="also replay the stream through the live TCP "
                              "service and record ingest p50/p99 latency and "
                              "alerts/sec")
+    parser.add_argument("--chaos", action="store_true",
+                        help="also measure the durability layer: WAL "
+                             "steady-state overhead (service bench with vs "
+                             "without the ingest journal, fsync=batch) and "
+                             "journal recovery time")
     parser.add_argument("--json-path", default=BENCH_PIPELINE_PATH,
                         help="where to write the report "
                              "(default: repo-root BENCH_pipeline.json)")
@@ -446,6 +556,10 @@ if __name__ == "__main__":
         )
     if cli.service:
         bench_report["service"] = run_service_benchmark(
+            fleet_size=cli.fleet_size, duration=duration_seconds
+        )
+    if cli.chaos:
+        bench_report["chaos"] = run_chaos_benchmark(
             fleet_size=cli.fleet_size, duration=duration_seconds
         )
     write_report(bench_report, cli.json_path)
@@ -477,4 +591,15 @@ if __name__ == "__main__":
             f"  service: {svc['sentences_per_sec']:.0f} sentences/s  "
             f"ingest p50={latency['p50']:.2f}ms p99={latency['p99']:.2f}ms  "
             f"alerts/s={svc['alerts_per_sec']:.2f}  shed={svc['shed']}"
+        )
+    if cli.chaos:
+        chaos = bench_report["chaos"]
+        overhead = chaos["wal_overhead"]
+        recovery = chaos["recovery"]
+        print(
+            f"  chaos: WAL overhead={overhead['overhead_pct']:.1f}% "
+            f"(target <{overhead['target_pct']:.0f}%)  "
+            f"recovery={recovery['replay_seconds']:.2f}s for "
+            f"{recovery['journaled_records']} records "
+            f"({recovery['replay_records_per_sec']:.0f} rec/s)"
         )

@@ -6,7 +6,9 @@ Usage::
                     [--window-hours W] [--slide-minutes B]
                     [--spatial-facts] [--shards N] [--checkpoint-dir PATH]
                     [--kml PATH] [--metrics-json PATH]
-    python -m repro --serve [--port P] [--host H] [... same pipeline flags]
+    python -m repro --serve [--port P] [--host H]
+                    [--wal-dir PATH] [--fsync always|batch|never]
+                    [--chaos SPEC | --chaos-seed N] [... same pipeline flags]
 
 Simulates a mixed fleet, runs the full pipeline, streams alerts to stdout
 as they are recognized, and prints the end-of-run summary (compression,
@@ -32,6 +34,14 @@ specs derived from ``--vessels``/``--seed``, so pair it with
 drains gracefully: buffered sentences flush through the pipeline, the
 final slide and end-of-stream finalize run, then the process exits 0.
 See docs/SERVICE.md for the wire protocols and backpressure semantics.
+
+``--wal-dir`` makes the served ingest durable: every post-shedding
+sentence is journaled to a write-ahead log before processing
+(``--fsync`` picks the durability/throughput trade-off), and restarting
+with the same directory replays unacknowledged sentences to
+byte-identical output.  ``--chaos`` installs a deterministic fault plan
+(``site:kind@hit[,...]``) or ``--chaos-seed`` generates one — see
+docs/RESILIENCE.md for sites, kinds, and the recovery guarantees.
 """
 
 import argparse
@@ -84,6 +94,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "0 binds ephemerally)")
     parser.add_argument("--host", default="127.0.0.1",
                         help="bind address with --serve (default: 127.0.0.1)")
+    parser.add_argument("--wal-dir", metavar="PATH",
+                        help="with --serve: write-ahead ingest journal "
+                             "directory; restart with the same path to "
+                             "replay unacknowledged sentences "
+                             "(docs/RESILIENCE.md)")
+    parser.add_argument("--fsync", choices=("always", "batch", "never"),
+                        default="batch",
+                        help="WAL fsync policy with --wal-dir: per record, "
+                             "per slide boundary, or never (default: batch)")
+    parser.add_argument("--chaos", metavar="SPEC",
+                        help="install a deterministic fault plan, e.g. "
+                             "'mod.write:error@3,service.slide:crash@2'")
+    parser.add_argument("--chaos-seed", type=int, metavar="N",
+                        help="generate a seeded fault plan over all known "
+                             "sites (replayable by seed; prints the plan)")
     parser.add_argument("--kml", metavar="PATH",
                         help="export the final window synopsis as KML")
     parser.add_argument("--metrics-json", metavar="PATH",
@@ -135,7 +160,10 @@ def _serve(args: argparse.Namespace) -> int:
         http_port=args.port + 2 if args.port else 0,
         shards=args.shards,
         checkpoint_dir=args.checkpoint_dir,
+        wal_dir=args.wal_dir,
+        wal_fsync=args.fsync,
     )
+    _install_chaos(args)
     # /metrics serves the global registry, so collection is on for the
     # whole lifetime of the service.
     obs.enable()
@@ -158,6 +186,28 @@ def _serve(args: argparse.Namespace) -> int:
         write_report(report, args.metrics_json)
         print(f"metrics report written to {args.metrics_json}")
     return 0
+
+
+def _install_chaos(args: argparse.Namespace) -> None:
+    """Install the ``--chaos`` / ``--chaos-seed`` fault plan, if any."""
+    if not args.chaos and args.chaos_seed is None:
+        return
+    from repro.resilience import FaultPlan, install
+
+    if args.chaos:
+        plan = FaultPlan.from_spec(args.chaos)
+    else:
+        plan = FaultPlan.seeded(
+            args.chaos_seed,
+            sites={
+                "service.ingest.socket": ("drop",),
+                "service.slide": ("delay", "error"),
+                "mod.write": ("error",),
+                "mod.reconstruct": ("error",),
+            },
+        )
+    install(plan)
+    print(f"chaos plan installed: {plan.to_spec()}")
 
 
 def _run(args: argparse.Namespace) -> int:

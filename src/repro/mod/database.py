@@ -14,6 +14,7 @@ from collections.abc import Iterable
 
 from repro import obs
 from repro.mod.schema import SCHEMA_STATEMENTS
+from repro.resilience.faults import fault_point
 from repro.reconstruct.trips import Trip, TripSegmenter
 from repro.simulator.vessel import VesselSpec
 from repro.simulator.world import Port
@@ -103,6 +104,7 @@ class MovingObjectDatabase:
             return self._stage_points(points)
 
     def _stage_points(self, points: list[CriticalPoint]) -> int:
+        fault_point("mod.write")
         rows = [
             (
                 point.mmsi,
@@ -161,6 +163,7 @@ class MovingObjectDatabase:
             return self._reconstruct(timings)
 
     def _reconstruct(self, timings: dict | None = None) -> int:
+        fault_point("mod.reconstruct")
         import time as _time
 
         cursor = self._connection.execute("SELECT DISTINCT mmsi FROM staging")

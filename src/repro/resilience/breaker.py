@@ -1,0 +1,135 @@
+"""A circuit breaker for the MOD sqlite write path.
+
+Retrying into a dead dependency amplifies the outage: every slide would
+burn its full retry budget against a database that is not coming back
+this second, stalling recognition behind storage.  The breaker converts
+that into a fast local decision — after ``failure_threshold``
+consecutive failures it *opens* and callers fail immediately (the guard
+layer spills instead), and after ``recovery_seconds`` it lets exactly
+one probe through (*half-open*).  A successful probe closes the circuit
+and the spill backlog drains; a failed probe reopens it.
+
+The clock is injectable so state transitions are testable without
+sleeping.
+"""
+
+import time
+from dataclasses import dataclass
+
+from repro import obs
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+_STATE_GAUGE = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+class CircuitOpen(RuntimeError):
+    """Raised by :meth:`CircuitBreaker.before_call` while the circuit is
+    open — the protected dependency is presumed down."""
+
+    def __init__(self, name: str, retry_in: float):
+        super().__init__(
+            f"circuit {name!r} is open (retry in {retry_in:.2f}s)"
+        )
+        self.retry_in = retry_in
+
+
+@dataclass
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker (closed → open → half-open)."""
+
+    name: str = "mod"
+    failure_threshold: int = 3
+    recovery_seconds: float = 5.0
+    #: Injectable monotonic clock, for sleep-free tests.
+    clock: object = None
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1: {self.failure_threshold}"
+            )
+        if self.clock is None:
+            self.clock = time.monotonic
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.open_count = 0
+        self.success_count = 0
+        self.failure_count = 0
+        self.rejected_count = 0
+        self._publish_state()
+
+    # -- the protected-call protocol -----------------------------------
+
+    def before_call(self) -> None:
+        """Gate a call: raises :class:`CircuitOpen` while open, admits a
+        single probe once the recovery window has elapsed."""
+        if self.state == CLOSED:
+            return
+        if self.state == OPEN:
+            elapsed = self.clock() - self.opened_at
+            if elapsed < self.recovery_seconds:
+                self.rejected_count += 1
+                obs.count(f"resilience.breaker.{self.name}.rejected")
+                raise CircuitOpen(self.name, self.recovery_seconds - elapsed)
+            self.state = HALF_OPEN
+            self._publish_state()
+        # HALF_OPEN: admit the probe.
+
+    def record_success(self) -> None:
+        self.success_count += 1
+        self.consecutive_failures = 0
+        if self.state != CLOSED:
+            self.state = CLOSED
+            obs.count(f"resilience.breaker.{self.name}.closed")
+            self._publish_state()
+
+    def record_failure(self) -> None:
+        self.failure_count += 1
+        self.consecutive_failures += 1
+        obs.count(f"resilience.breaker.{self.name}.failures")
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self.opened_at = self.clock()
+        self.open_count += 1
+        obs.count(f"resilience.breaker.{self.name}.opened")
+        self._publish_state()
+
+    def call(self, func):
+        """Run ``func`` under the breaker, recording the outcome."""
+        self.before_call()
+        try:
+            result = func()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def _publish_state(self) -> None:
+        obs.set_gauge(
+            f"resilience.breaker.{self.name}.state", _STATE_GAUGE[self.state]
+        )
+
+    def snapshot(self) -> dict:
+        """Health/metrics view (exposed on ``/healthz``)."""
+        return {
+            "name": self.name,
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "recovery_seconds": self.recovery_seconds,
+            "opened": self.open_count,
+            "successes": self.success_count,
+            "failures": self.failure_count,
+            "rejected": self.rejected_count,
+        }

@@ -26,6 +26,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import BackoffPolicy
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.worker import worker_main
 
@@ -67,6 +69,8 @@ class Supervisor:
         max_restarts: int = 5,
         reply_timeout_seconds: float = 120.0,
         start_method: str | None = None,
+        restart_backoff: BackoffPolicy | None = None,
+        sleep=time.sleep,
     ):
         self._worker_args = worker_args
         self.shards = shards
@@ -75,6 +79,15 @@ class Supervisor:
         self.queue_capacity = queue_capacity
         self.max_restarts = max_restarts
         self.reply_timeout_seconds = reply_timeout_seconds
+        # Respawn delay grows with consecutive restarts of the same shard:
+        # a worker that dies instantly every time must not busy-loop the
+        # supervisor.  Deterministic (no jitter) like every retry schedule
+        # in this tree; `sleep` is injectable so tests run at full speed.
+        self.restart_backoff = restart_backoff or BackoffPolicy(
+            initial_seconds=0.02, multiplier=2.0, max_seconds=1.0,
+            max_attempts=max_restarts + 1,
+        )
+        self._sleep = sleep
         if start_method is None:
             start_method = (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -122,6 +135,24 @@ class Supervisor:
         """Total restarts across all workers so far."""
         return sum(handle.restarts for handle in self._handles)
 
+    def terminate_workers(self) -> int:
+        """Hard-kill every live worker (the slide watchdog's lever).
+
+        A wedged worker holds the whole lockstep slide hostage; killing it
+        converts the silent stall into a :class:`WorkerCrash` on the next
+        reply wait, which the ordinary checkpoint-recovery path already
+        handles.  Returns the number of processes killed.
+        """
+        killed = 0
+        for handle in self._handles:
+            process = handle.process
+            if process is not None and process.is_alive():
+                process.kill()
+                killed += 1
+        if killed:
+            obs.count("runtime.watchdog_kills", killed)
+        return killed
+
     # -- request/reply ----------------------------------------------------
 
     def request_all(self, kind: str, payloads: list[tuple]) -> list[dict]:
@@ -132,6 +163,12 @@ class Supervisor:
         (all commands go out before any reply is awaited) so workers
         genuinely run in parallel.
         """
+        spec = fault_point("runtime.worker")
+        if spec is not None and spec.kind == "kill":
+            shard_id = int(spec.arg) % self.shards
+            handle = self._handles[shard_id]
+            if handle.process is not None and handle.process.is_alive():
+                handle.process.kill()
         seqs = [
             self._send(handle, (kind, *payloads[handle.shard_id]))
             for handle in self._handles
@@ -274,6 +311,12 @@ class Supervisor:
             handle.restarts += 1
             registry.inc("runtime.restarts")
             registry.inc(f"runtime.shard.{handle.shard_id}.restarts")
+            delay = self.restart_backoff.delay_for(
+                min(handle.restarts, self.restart_backoff.max_attempts)
+            )
+            if delay:
+                obs.observe("runtime.restart_backoff_seconds", delay)
+                self._sleep(delay)
             if handle.process is not None:
                 handle.process.join(timeout=2.0)
             self._spawn(handle)

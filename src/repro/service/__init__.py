@@ -32,12 +32,14 @@ from repro.service.protocol import (
     point_to_dict,
     slide_feed_line,
 )
+from repro.service.quarantine import DeadLetterBuffer
 from repro.service.replay import offline_feed_lines
 from repro.service.state import AlertRing, VesselSnapshot, VesselStateStore
 from repro.service.supervisor import ServiceSupervisor, run_service
 
 __all__ = [
     "AlertRing",
+    "DeadLetterBuffer",
     "FeedHub",
     "HttpApi",
     "IngestQueue",

@@ -9,6 +9,18 @@ and expired tuples must still be evicted).  The soak-parity tests lean on
 this: a TCP-ingested stream must produce *byte-identical* feed output to
 an offline replay of the same sentences.
 
+Durability hooks (all optional; see docs/RESILIENCE.md):
+
+* every dequeued sentence is appended to the write-ahead ``journal``
+  *before* it is scanned, and the journal is fsynced at each slide
+  boundary — so the journal holds exactly the post-shedding stream the
+  pipeline has consumed, which is what :meth:`SlideBatcher.replay` feeds
+  back after a crash to reproduce every slide byte-for-byte;
+* sentences the scanner rejects are classified and quarantined in the
+  ``deadletter`` buffer instead of vanishing into a counter;
+* the ``watchdog`` gets a beat when a pipeline slide starts and
+  finishes, so a wedged slide is detected from the event loop.
+
 Pipeline slides execute on a worker thread (``run_in_executor``) so the
 event loop keeps reading sockets while a slide is being processed —
 that's what lets the bounded ingest queue shed (with counters) instead of
@@ -22,6 +34,8 @@ from concurrent.futures import ThreadPoolExecutor
 from repro import obs
 from repro.ais.scanner import DataScanner
 from repro.pipeline.metrics import SlideReport
+from repro.resilience.faults import InjectedFault, SimulatedCrash, fault_point
+from repro.service.quarantine import REASONS
 
 
 class SlideBatcher:
@@ -35,6 +49,9 @@ class SlideBatcher:
         on_report=None,
         on_position=None,
         record_ingest: bool = False,
+        journal=None,
+        deadletter=None,
+        watchdog=None,
     ):
         if slide_seconds <= 0:
             raise ValueError(f"slide must be positive, got {slide_seconds}")
@@ -45,6 +62,9 @@ class SlideBatcher:
         self._on_report = on_report or (lambda report, kind: None)
         self._on_position = on_position or (lambda position: None)
         self._record_ingest = record_ingest
+        self.journal = journal
+        self.deadletter = deadletter
+        self.watchdog = watchdog
         #: Exactly the (receive_time, sentence) pairs handed to the
         #: scanner, post-shedding — the offline-parity replay input.
         self.ingested: list[tuple[int, str]] = []
@@ -52,15 +72,33 @@ class SlideBatcher:
         self._query_time: int | None = None
         self.slides_processed = 0
         self.pipeline_errors = 0
+        self.replayed_records = 0
+        self._aborted = False
         # One dedicated worker: pipeline calls stay strictly serialized on
         # a single thread (the MOD's sqlite connection is single-owner).
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="pipeline-slide"
         )
 
+    async def replay(self, records: list[tuple[int, str]]) -> int:
+        """Re-feed journal records recovered from a previous incarnation.
+
+        Runs before any live traffic.  The records are *not* re-journaled
+        (they are already durable) and every slide they complete is
+        republished — at-least-once delivery: feed lines are deterministic
+        and keyed by their ``query_time``, so a consumer that saw some of
+        them before the crash deduplicates trivially.  The final partial
+        slide stays pending, and live ingest continues it seamlessly.
+        """
+        for receive_time, sentence in records:
+            await self._ingest(receive_time, sentence, journal=False)
+        self.replayed_records += len(records)
+        if records:
+            obs.count("resilience.recovery.replayed_records", len(records))
+        return len(records)
+
     async def run(self) -> None:
         """Main loop; returns once the queue is closed and fully drained."""
-        slide = self.slide_seconds
         while True:
             item = await self.queue.get()
             if item is None:
@@ -70,24 +108,50 @@ class SlideBatcher:
                 "service.ingest.latency_seconds",
                 time.perf_counter() - enqueued_at,
             )
-            if self._record_ingest:
-                self.ingested.append((receive_time, sentence))
-            position = self.scanner.scan(receive_time, sentence)
-            if position is None:
-                continue
-            self._on_position(position)
-            arrival = receive_time
-            if self._query_time is None:
-                # First boundary at or after the earliest arrival — the
-                # StreamReplayer rule, special case included.
-                boundary = ((arrival + slide - 1) // slide) * slide
-                if boundary == arrival == 0:
-                    boundary = slide
-                self._query_time = boundary
-            while arrival > self._query_time:
-                await self._process_slide()
-                self._query_time += slide
-            self._batch.append(position)
+            await self._ingest(receive_time, sentence, journal=True)
+
+    async def _ingest(
+        self, receive_time: int, sentence: str, journal: bool
+    ) -> None:
+        """One sentence through journal → scanner → batch → slides."""
+        if journal and self.journal is not None:
+            # Journal *before* scanning: anything the pipeline has seen is
+            # on disk first (under `always` even fsynced; under `batch`
+            # the slide-boundary sync below bounds the exposure).
+            self.journal.append(receive_time, sentence)
+        if self._record_ingest:
+            self.ingested.append((receive_time, sentence))
+        position = self._scan(receive_time, sentence)
+        if position is None:
+            return
+        self._on_position(position)
+        arrival = receive_time
+        slide = self.slide_seconds
+        if self._query_time is None:
+            # First boundary at or after the earliest arrival — the
+            # StreamReplayer rule, special case included.
+            boundary = ((arrival + slide - 1) // slide) * slide
+            if boundary == arrival == 0:
+                boundary = slide
+            self._query_time = boundary
+        while arrival > self._query_time:
+            await self._process_slide()
+            self._query_time += slide
+        self._batch.append(position)
+
+    def _scan(self, receive_time: int, sentence: str):
+        """Scan one sentence, quarantining anything the scanner rejects."""
+        if self.deadletter is None:
+            return self.scanner.scan(receive_time, sentence)
+        stats = self.scanner.statistics
+        before = {reason: getattr(stats, reason) for reason in REASONS}
+        position = self.scanner.scan(receive_time, sentence)
+        if position is None:
+            for reason in REASONS:
+                if getattr(stats, reason) > before[reason]:
+                    self.deadletter.quarantine(receive_time, sentence, reason)
+                    break
+        return position
 
     async def drain(self) -> None:
         """Flush the last partial slide and run end-of-stream finalize."""
@@ -101,12 +165,47 @@ class SlideBatcher:
             if report is not None:
                 self._on_report(report, "finalize")
         self._executor.shutdown(wait=True)
+        if self.journal is not None:
+            # A clean drain means every journaled sentence made it through
+            # finalize into the MOD: the journal's obligation is met.
+            self.journal.truncate_all()
+
+    def abort(self) -> None:
+        """Forced shutdown: the drain deadline passed with a slide still
+        wedged on the executor.  Nothing further is flushed; the journal
+        keeps its segments so the next incarnation replays them."""
+        self._aborted = True
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.journal is not None:
+            self.journal.close()
+        obs.count("service.drain.forced_aborts")
 
     async def _process_slide(self) -> None:
+        if self.journal is not None:
+            # Slide boundary = the batch-policy durability point: every
+            # sentence this slide consumed is on disk before the pipeline
+            # (or an injected crash) can act on it.
+            self.journal.sync()
+        try:
+            spec = fault_point("service.slide")
+        except InjectedFault:
+            # An injected slide error behaves like an unrecoverable
+            # pipeline fault: the slide is lost and counted, service lives.
+            self.pipeline_errors += 1
+            obs.count("service.pipeline.errors")
+            self._batch = []
+            return
+        if spec is not None and spec.kind == "crash":
+            # The in-process stand-in for kill -9: abandon everything.
+            raise SimulatedCrash("service.slide", spec.at)
         batch, self._batch = self._batch, []
+        if self.watchdog is not None:
+            self.watchdog.slide_started(self._query_time)
         report = await self._call_pipeline(
             self.system.process_slide, batch, self._query_time
         )
+        if self.watchdog is not None:
+            self.watchdog.slide_finished()
         if report is None:
             return
         self.slides_processed += 1

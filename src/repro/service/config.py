@@ -2,6 +2,8 @@
 
 from dataclasses import dataclass
 
+from repro.resilience.wal import FSYNC_POLICIES
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -38,6 +40,36 @@ class ServiceConfig:
     #: to the scanner — lets tests replay exactly the post-shedding
     #: stream offline.  Off in production: it grows without bound.
     record_ingest: bool = False
+    #: Write-ahead ingest journal directory (``None`` = no durability:
+    #: a crash loses everything in flight, exactly the paper's
+    #: main-memory behaviour).  With a directory, every post-shedding
+    #: sentence is journaled before processing and a restarted service
+    #: replays the journal to byte-identical output (docs/RESILIENCE.md).
+    wal_dir: str | None = None
+    #: WAL fsync policy: ``always`` | ``batch`` (fsync at each slide
+    #: boundary) | ``never``.
+    wal_fsync: str = "batch"
+    #: WAL segment rotation threshold, bytes.
+    wal_segment_bytes: int = 4 * 1024 * 1024
+    #: Closed WAL segments kept on disk (0 = unlimited).  Bounds disk
+    #: use at the cost of how far back a restart can replay.
+    wal_retention_segments: int = 0
+    #: Graceful-drain deadline; past it the supervisor force-aborts the
+    #: in-flight pipeline slide instead of hanging on shutdown.
+    drain_timeout_seconds: float = 30.0
+    #: Malformed sentences kept for the ``/deadletter`` endpoint.
+    deadletter_capacity: int = 256
+    #: A pipeline slide running longer than this is declared stalled and
+    #: the watchdog intervenes (0 = watchdog disabled).
+    watchdog_timeout_seconds: float = 0.0
+    #: MOD circuit breaker: consecutive write failures before opening.
+    mod_failure_threshold: int = 3
+    #: MOD circuit breaker: seconds open before admitting a probe.
+    mod_recovery_seconds: float = 5.0
+    #: MOD write retry budget (attempts, including the first).
+    mod_retry_attempts: int = 3
+    #: First MOD retry delay; doubles per attempt, capped at 1s.
+    mod_retry_initial_seconds: float = 0.02
 
     def __post_init__(self) -> None:
         if self.ingest_queue_size <= 0:
@@ -52,3 +84,27 @@ class ServiceConfig:
             )
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1: {self.shards}")
+        if self.wal_fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"wal_fsync must be one of {FSYNC_POLICIES}: "
+                f"{self.wal_fsync!r}"
+            )
+        if self.wal_segment_bytes <= 0:
+            raise ValueError(
+                f"wal_segment_bytes must be positive: {self.wal_segment_bytes}"
+            )
+        if self.drain_timeout_seconds <= 0:
+            raise ValueError(
+                f"drain_timeout_seconds must be positive: "
+                f"{self.drain_timeout_seconds}"
+            )
+        if self.deadletter_capacity <= 0:
+            raise ValueError(
+                f"deadletter_capacity must be positive: "
+                f"{self.deadletter_capacity}"
+            )
+        if self.watchdog_timeout_seconds < 0:
+            raise ValueError(
+                f"watchdog_timeout_seconds must be >= 0: "
+                f"{self.watchdog_timeout_seconds}"
+            )

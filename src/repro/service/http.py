@@ -8,7 +8,9 @@ and operational queries — deliberately not a web framework:
   exposition format (:func:`repro.obs.render_prometheus`);
 * ``GET /vessels/{mmsi}`` — last-known velocity-vector snapshot;
 * ``GET /vessels`` — all tracked MMSIs;
-* ``GET /alerts?since=N`` — recent complex events from the alert ring.
+* ``GET /alerts?since=N`` — recent complex events from the alert ring;
+* ``GET /deadletter?limit=N`` — recently quarantined malformed
+  sentences with their classified rejection reasons.
 
 Connections are ``Connection: close``; every response carries a
 Content-Length so ``curl`` and the smoke tests behave.
@@ -100,7 +102,22 @@ class HttpApi:
             return self._vessel(path.removeprefix("/vessels/"))
         if path == "/alerts":
             return self._alerts(query)
+        if path == "/deadletter":
+            return self._deadletter(query)
         return 404, {"error": f"no such endpoint: {path}"}, "application/json"
+
+    def _deadletter(self, query: dict):
+        try:
+            limit = int(query.get("limit", ["50"])[0])
+        except ValueError:
+            return 400, {"error": "limit must be an integer"}, "application/json"
+        if limit < 0:
+            return 400, {"error": "limit must be >= 0"}, "application/json"
+        return (
+            200,
+            self.supervisor.deadletter.snapshot(limit),
+            "application/json",
+        )
 
     def _vessel(self, raw_mmsi: str):
         try:

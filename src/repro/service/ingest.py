@@ -16,6 +16,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.resilience.faults import fault_point
 from repro.service.protocol import parse_ingest_line
 
 #: One buffered sentence: (receive_time, sentence, enqueue_perf_counter).
@@ -123,6 +124,13 @@ class IngestServer:
                 except (ConnectionResetError, asyncio.IncompleteReadError):
                     break
                 if not raw:
+                    break
+                spec = fault_point("service.ingest.socket")
+                if spec is not None and spec.kind == "drop":
+                    # Injected connection drop: sever mid-stream, exactly
+                    # like an upstream feed dying.  The client sees EOF
+                    # and is expected to reconnect and resend.
+                    obs.count("service.ingest.injected_drops")
                     break
                 stats.lines += 1
                 stats.bytes += len(raw)

@@ -9,26 +9,50 @@ already handles worker crash-restart with exactly-once checkpoint
 recovery (docs/RUNTIME.md); this layer surfaces its restart counts on
 ``/healthz`` and keeps serving through recoveries.
 
-Shutdown is graceful by contract: :meth:`drain_and_stop` stops accepting
-ingest, drains everything already buffered through the pipeline, flushes
-the final partial slide plus the end-of-stream ``finalize`` (open stops
-close, the synopsis archives into the MOD), publishes the last feed
-lines, disconnects subscribers, and only then closes the MOD and the
-sharded runtime.
+On top of that sits the durability layer (docs/RESILIENCE.md), active
+when :attr:`~repro.service.config.ServiceConfig.wal_dir` is set:
+
+* every post-shedding sentence is journaled to a write-ahead log before
+  processing, and :meth:`start` *replays* a previous incarnation's
+  journal through a fresh pipeline before accepting live traffic — the
+  restarted service republishes byte-identical slides and resumes
+  mid-slide;
+* MOD writes run behind a retry + circuit-breaker guard with a
+  WAL-backed spill queue, so archival failures degrade instead of
+  stalling recognition;
+* a slide watchdog detects a wedged pipeline slide and hard-kills the
+  shard workers, converting the stall into an ordinary checkpointed
+  worker restart.
+
+Shutdown is graceful by contract, but with a deadline:
+:meth:`drain_and_stop` stops accepting ingest, drains everything already
+buffered through the pipeline, flushes the final partial slide plus the
+end-of-stream ``finalize``, publishes the last feed lines, disconnects
+subscribers, and only then closes the MOD and the sharded runtime.  If
+the pipeline wedges past ``drain_timeout_seconds`` the drain is
+force-aborted (counted, journal preserved for replay) instead of hanging
+the host's shutdown forever.
 """
 
 import asyncio
 import signal
+from pathlib import Path
 
 from repro import obs
 from repro.pipeline.config import SystemConfig
 from repro.pipeline.system import SurveillanceSystem
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.guard import GuardedDatabase, SpillQueue
+from repro.resilience.retry import BackoffPolicy
+from repro.resilience.wal import IngestJournal
+from repro.resilience.watchdog import SlideWatchdog
 from repro.service.batcher import SlideBatcher
 from repro.service.config import ServiceConfig
 from repro.service.feed import FeedHub
 from repro.service.http import HttpApi
 from repro.service.ingest import IngestQueue, IngestServer
 from repro.service.protocol import slide_feed_line
+from repro.service.quarantine import DeadLetterBuffer
 from repro.service.state import AlertRing, VesselStateStore
 
 
@@ -55,7 +79,8 @@ class ServiceSupervisor:
     world, specs, config:
         Exactly as for :class:`~repro.pipeline.system.SurveillanceSystem`.
     service:
-        Network and backpressure knobs (:class:`ServiceConfig`).
+        Network, backpressure and durability knobs
+        (:class:`ServiceConfig`).
     system_factory:
         Test hook: replaces :func:`build_system` to wrap or slow the
         embedded pipeline (the load-shedding soak test injects delays).
@@ -85,6 +110,10 @@ class ServiceSupervisor:
             self.service.subscriber_queue_size,
         )
         self.http = HttpApi(self, self.service.host, self.service.http_port)
+        self.deadletter = DeadLetterBuffer(self.service.deadletter_capacity)
+        self.journal = self._build_journal()
+        self.guard = self._guard_database()
+        self.watchdog = self._build_watchdog()
         self.batcher = SlideBatcher(
             self.system,
             self.queue,
@@ -92,9 +121,83 @@ class ServiceSupervisor:
             on_report=self._on_report,
             on_position=lambda position: self.vessels.update([position]),
             record_ingest=self.service.record_ingest,
+            journal=self.journal,
+            deadletter=self.deadletter,
+            watchdog=self.watchdog,
         )
+        #: Journal records replayed from a previous incarnation at start.
+        self.recovered_records = (
+            len(self.journal.recovered) if self.journal is not None else 0
+        )
+        self.forced_abort = False
         self._batcher_task: asyncio.Task | None = None
+        self._watchdog_task: asyncio.Task | None = None
         self._stopped = False
+
+    # ------------------------------------------------------------------
+    # resilience assembly
+    # ------------------------------------------------------------------
+
+    def _build_journal(self) -> IngestJournal | None:
+        if self.service.wal_dir is None:
+            return None
+        return IngestJournal(
+            self.service.wal_dir,
+            fsync=self.service.wal_fsync,
+            segment_max_bytes=self.service.wal_segment_bytes,
+            retention_segments=self.service.wal_retention_segments,
+        )
+
+    def _guard_database(self) -> GuardedDatabase | None:
+        """Put the MOD behind retry + breaker + spill, transparently.
+
+        The pipeline looks ``system.database`` up at call time, so
+        swapping the attribute for the guard covers every staging write
+        and reconstruction pass without touching the pipeline itself.
+        """
+        if not hasattr(self.system, "database"):
+            return None
+        if self.service.wal_dir is not None:
+            spill = SpillQueue(
+                Path(self.service.wal_dir) / "spill",
+                fsync=self.service.wal_fsync,
+            )
+        else:
+            spill = SpillQueue()
+        guard = GuardedDatabase(
+            self.system.database,
+            breaker=CircuitBreaker(
+                name="mod",
+                failure_threshold=self.service.mod_failure_threshold,
+                recovery_seconds=self.service.mod_recovery_seconds,
+            ),
+            policy=BackoffPolicy(
+                initial_seconds=self.service.mod_retry_initial_seconds,
+                multiplier=2.0,
+                max_seconds=1.0,
+                max_attempts=self.service.mod_retry_attempts,
+            ),
+            spill=spill,
+        )
+        self.system.database = guard
+        return guard
+
+    def _build_watchdog(self) -> SlideWatchdog | None:
+        if self.service.watchdog_timeout_seconds <= 0:
+            return None
+        return SlideWatchdog(
+            self.service.watchdog_timeout_seconds, on_stall=self._on_stall
+        )
+
+    def _on_stall(self, query_time, elapsed: float) -> None:
+        """A pipeline slide overran its deadline: kill the shard workers
+        so the stall becomes a WorkerCrash the checkpoint machinery
+        recovers from (single-process systems have no such lever — the
+        stall is counted and surfaced on ``/healthz`` instead)."""
+        obs.count("service.watchdog.stalls")
+        runtime = getattr(self.system, "supervisor", None)
+        if runtime is not None and hasattr(runtime, "terminate_workers"):
+            runtime.terminate_workers()
 
     # ------------------------------------------------------------------
     # slide fan-out
@@ -111,31 +214,79 @@ class ServiceSupervisor:
     # ------------------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind all three servers and start the batcher."""
+        """Recover the journal, bind all three servers, start the batcher.
+
+        Recovery runs *before* the ingest listener binds, so replayed
+        journal records and live traffic never interleave: the restarted
+        pipeline deterministically reproduces the pre-crash slides, then
+        live ingest continues the pending partial slide.
+        """
+        if self.journal is not None and self.journal.recovered:
+            with obs.span("service.recovery"):
+                await self.batcher.replay(self.journal.recovered)
         await self.ingest.start()
         await self.feed.start()
         await self.http.start()
         self._batcher_task = asyncio.ensure_future(self.batcher.run())
+        if self.watchdog is not None:
+            self._watchdog_task = asyncio.ensure_future(self._watch())
         obs.set_gauge("service.up", 1)
 
+    async def _watch(self) -> None:
+        interval = max(0.05, self.service.watchdog_timeout_seconds / 4)
+        while True:
+            await asyncio.sleep(interval)
+            self.watchdog.check()
+
+    async def _drain_pipeline(self) -> None:
+        """Join the batcher, then flush the final slide and finalize."""
+        if self._batcher_task is not None:
+            try:
+                await self._batcher_task
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # The batcher loop died (e.g. an injected SimulatedCrash
+                # escaped in a chaos run); drain what state remains.
+                obs.count("service.batcher.crashed")
+        await self.batcher.drain()
+
     async def drain_and_stop(self) -> None:
-        """Graceful shutdown: drain ingest, flush the final slide, close."""
+        """Graceful shutdown: drain ingest, flush the final slide, close.
+
+        Bounded by ``drain_timeout_seconds``: a pipeline slide wedged on
+        the executor thread used to hang shutdown forever (the batcher
+        join had no deadline); now the drain is force-aborted, counted,
+        and the journal is preserved so the next incarnation replays
+        whatever the abort abandoned.
+        """
         if self._stopped:
             return
         self._stopped = True
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
         # 1. Stop accepting new feeds; buffered sentences keep flowing.
         await self.ingest.stop()
         self.queue.close()
         # 2. The batcher returns once the queue is drained; then flush the
-        #    last partial slide and the end-of-stream finalize.
-        if self._batcher_task is not None:
-            await self._batcher_task
-        await self.batcher.drain()
+        #    last partial slide and the end-of-stream finalize — all under
+        #    the drain deadline.
+        try:
+            await asyncio.wait_for(
+                self._drain_pipeline(),
+                timeout=self.service.drain_timeout_seconds,
+            )
+        except asyncio.TimeoutError:
+            self.forced_abort = True
+            if self._batcher_task is not None:
+                self._batcher_task.cancel()
+            self.batcher.abort()
         # 3. Disconnect subscribers after the final lines are queued.
         await self.feed.close()
         await self.http.stop()
         # 4. Release the pipeline: sharded workers and checkpoints first,
-        #    then the MOD connection (staging flushed by finalize above).
+        #    then the MOD connection (staging flushed by finalize above;
+        #    closing the guard also closes the spill queue).
         if hasattr(self.system, "close"):
             self.system.close()
         self.system.database.close()
@@ -172,8 +323,20 @@ class ServiceSupervisor:
                     self.batcher.scanner.statistics.fragmented_dropped
                 ),
             },
+            "recovered_records": self.recovered_records,
+            "forced_abort": self.forced_abort,
+            "deadletter": {
+                "total": self.deadletter.total,
+                "held": len(self.deadletter),
+            },
             "ports": self.ports(),
         }
+        if self.journal is not None:
+            payload["wal"] = self.journal.snapshot()
+        if self.guard is not None:
+            payload["mod_guard"] = self.guard.snapshot()
+        if self.watchdog is not None:
+            payload["watchdog"] = self.watchdog.snapshot()
         if hasattr(self.system, "restart_count"):
             payload["runtime_restarts"] = self.system.restart_count()
         return payload
@@ -202,6 +365,11 @@ async def run_service(
     """
     supervisor = ServiceSupervisor(world, specs, config, service)
     await supervisor.start()
+    if supervisor.recovered_records:
+        announce(
+            f"recovered {supervisor.recovered_records} journaled sentences "
+            f"({supervisor.batcher.slides_processed} slides republished)"
+        )
     ports = supervisor.ports()
     announce(
         f"live service up: ingest={ports['ingest']} feed={ports['feed']} "

@@ -115,3 +115,89 @@ class TestScannerReassembly:
         assert scanner.statistics.bad_checksum == 1
         assert scanner.scan(2, second) is None
         assert scanner.flush() == 1  # the lone valid fragment never completed
+
+
+class TestAdversarialInterleavings:
+    """Eviction and supersession under hostile fragment orderings.
+
+    Real AIS feeds interleave many vessels' fragment groups, repeat
+    message ids (they are only a few bits on the wire), and lose halves
+    of groups routinely — the assembler must stay bounded and never
+    credit a stale group's fragments to a fresh one.
+    """
+
+    def _fragments(self, mmsi, message_id):
+        payload, fill = encode_position_report(type19_report(mmsi))
+        return wrap_aivdm_fragments(payload, fill, message_id=message_id)
+
+    def test_duplicate_fragment_number_supersedes_not_completes(self):
+        first, second = self._fragments(237_000_111, 5)
+        assembler = FragmentAssembler()
+        assert assembler.add(unwrap_aivdm(first)) is None
+        assert assembler.add(unwrap_aivdm(first)) is None  # same fragment 1
+        assert assembler.dropped_sentences == 1  # stale group of one died
+        # Completion pairs the *new* fragment 1 with fragment 2.
+        assert assembler.add(unwrap_aivdm(second)) is not None
+
+    def test_stale_group_id_reused_after_eviction(self):
+        """A group evicted by overflow must not resurrect when its id
+        reappears later — the new arrival starts a fresh group."""
+        assembler = FragmentAssembler(max_pending=2)
+        orphans = [self._fragments(237_000_200 + i, i)[0] for i in range(3)]
+        for orphan in orphans:
+            assert assembler.add(unwrap_aivdm(orphan)) is None
+        assert assembler.dropped_sentences == 1  # id 0 evicted, oldest
+        # Id 0's *second* fragment arrives after the eviction: no pair
+        # exists any more, so it pends instead of completing with stale
+        # data from the evicted group.
+        _, second_of_evicted = self._fragments(237_000_200, 0)
+        assert assembler.add(unwrap_aivdm(second_of_evicted)) is None
+
+    def test_eviction_is_strictly_oldest_first(self):
+        assembler = FragmentAssembler(max_pending=2)
+        a1, _ = self._fragments(237_000_301, 1)
+        b1, _ = self._fragments(237_000_302, 2)
+        c1, _ = self._fragments(237_000_303, 3)
+        assembler.add(unwrap_aivdm(a1))
+        assembler.add(unwrap_aivdm(b1))
+        assembler.add(unwrap_aivdm(c1))  # evicts the 'a' group
+        # 'b' and 'c' are still completable; 'a' is gone.
+        _, b2 = self._fragments(237_000_302, 2)
+        _, c2 = self._fragments(237_000_303, 3)
+        assert assembler.add(unwrap_aivdm(b2)) is not None
+        assert assembler.add(unwrap_aivdm(c2)) is not None
+        _, a2 = self._fragments(237_000_301, 1)
+        assert assembler.add(unwrap_aivdm(a2)) is None  # pends, half-group
+
+    def test_out_of_order_interleaved_burst_reassembles_everything(self):
+        """Second fragments first, many groups at once, shuffled — every
+        group still completes exactly once with the right vessel."""
+        groups = {
+            mmsi: self._fragments(mmsi, message_id)
+            for message_id, mmsi in enumerate(
+                range(237_000_400, 237_000_406)
+            )
+        }
+        scanner = DataScanner()
+        arrivals = []
+        # Deterministic adversarial order: all second fragments (reverse
+        # order), then all first fragments (forward order).
+        arrivals.extend(pair[1] for pair in reversed(groups.values()))
+        arrivals.extend(pair[0] for pair in groups.values())
+        recovered = []
+        for t, sentence in enumerate(arrivals):
+            position = scanner.scan(t, sentence)
+            if position is not None:
+                recovered.append(position.mmsi)
+        assert sorted(recovered) == sorted(groups)
+        assert scanner.statistics.reassembled == len(groups)
+        assert scanner.statistics.fragmented_dropped == 0
+        assert scanner.flush() == 0
+
+    def test_orphan_flood_stays_bounded(self):
+        assembler = FragmentAssembler(max_pending=8)
+        for i in range(200):
+            first, _ = self._fragments(237_100_000 + i, i % 10)
+            assembler.add(unwrap_aivdm(first))
+        assert len(assembler._pending) <= 8
+        assert assembler.dropped_sentences >= 192 - 8

@@ -1,0 +1,142 @@
+"""Backoff policy, retry_call, and the circuit breaker state machine."""
+
+import pytest
+
+from repro.resilience.breaker import CircuitBreaker, CircuitOpen
+from repro.resilience.retry import BackoffPolicy, retry_call
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestBackoffPolicy:
+    def test_deterministic_exponential_schedule(self):
+        policy = BackoffPolicy(
+            initial_seconds=0.1, multiplier=2.0, max_seconds=1.0,
+            max_attempts=6,
+        )
+        assert policy.delays() == [0.1, 0.2, 0.4, 0.8, 1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(initial_seconds=-1)
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_attempts=0)
+
+
+class TestRetryCall:
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+        slept = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        policy = BackoffPolicy(initial_seconds=0.1, max_attempts=5)
+        result = retry_call(flaky, policy, sleep=slept.append)
+        assert result == "ok"
+        assert len(calls) == 3
+        assert slept == [0.1, 0.2]  # the policy's exact schedule
+
+    def test_budget_exhaustion_reraises_last_error(self):
+        policy = BackoffPolicy(initial_seconds=0.0, max_attempts=3)
+        attempts = []
+
+        def always_fails():
+            attempts.append(1)
+            raise ValueError("persistent")
+
+        with pytest.raises(ValueError, match="persistent"):
+            retry_call(always_fails, policy, sleep=lambda _: None)
+        assert len(attempts) == 3
+
+    def test_non_matching_exception_not_retried(self):
+        policy = BackoffPolicy(max_attempts=5)
+        attempts = []
+
+        def wrong_kind():
+            attempts.append(1)
+            raise KeyError("nope")
+
+        with pytest.raises(KeyError):
+            retry_call(wrong_kind, policy, retry_on=(OSError,),
+                       sleep=lambda _: None)
+        assert len(attempts) == 1
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, threshold=3, recovery=5.0):
+        return CircuitBreaker(
+            name="test", failure_threshold=threshold,
+            recovery_seconds=recovery, clock=clock,
+        )
+
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                breaker.call(self._boom)
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpen):
+            breaker.call(lambda: "never runs")
+        assert breaker.rejected_count == 1
+
+    def test_success_resets_the_failure_streak(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                breaker.call(self._boom)
+        breaker.call(lambda: "fine")
+        assert breaker.consecutive_failures == 0
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                breaker.call(self._boom)
+        clock.advance(5.0)
+        assert breaker.call(lambda: "recovered") == "recovered"
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_reopens_on_failure(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                breaker.call(self._boom)
+        clock.advance(5.0)
+        with pytest.raises(RuntimeError):
+            breaker.call(self._boom)  # the probe itself fails
+        assert breaker.state == "open"
+        assert breaker.open_count == 2
+        # And it stays open for a fresh recovery window.
+        clock.advance(4.9)
+        with pytest.raises(CircuitOpen):
+            breaker.call(lambda: "still too early")
+
+    def test_snapshot_shape(self):
+        breaker = self._breaker(FakeClock())
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed"
+        assert snap["failure_threshold"] == 3
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("mod down")

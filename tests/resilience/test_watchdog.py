@@ -1,0 +1,100 @@
+"""Slide watchdog: stall detection, backoff-limited intervention."""
+
+import pytest
+
+from repro.resilience.retry import BackoffPolicy
+from repro.resilience.watchdog import SlideWatchdog
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_watchdog(clock, timeout=10.0, max_attempts=3):
+    stalls = []
+    watchdog = SlideWatchdog(
+        timeout_seconds=timeout,
+        on_stall=lambda query_time, elapsed: stalls.append(
+            (query_time, elapsed)
+        ),
+        backoff=BackoffPolicy(
+            initial_seconds=5.0, multiplier=2.0, max_seconds=60.0,
+            max_attempts=max_attempts,
+        ),
+        clock=clock,
+    )
+    return watchdog, stalls
+
+
+class TestSlideWatchdog:
+    def test_no_stall_while_idle_or_fast(self):
+        clock = FakeClock()
+        watchdog, stalls = make_watchdog(clock)
+        assert not watchdog.check()  # nothing running
+        watchdog.slide_started(1800)
+        clock.now = 5.0
+        assert not watchdog.check()  # under the deadline
+        watchdog.slide_finished()
+        clock.now = 100.0
+        assert not watchdog.check()  # finished slides can't stall
+        assert stalls == []
+        assert watchdog.slides_seen == 1
+
+    def test_overrun_fires_with_query_time_and_elapsed(self):
+        clock = FakeClock()
+        watchdog, stalls = make_watchdog(clock)
+        watchdog.slide_started(3600)
+        clock.now = 12.0
+        assert watchdog.check()
+        assert stalls == [(3600, 12.0)]
+        assert watchdog.stalls_detected == 1
+
+    def test_persisting_stall_refires_on_backoff_schedule(self):
+        clock = FakeClock()
+        watchdog, stalls = make_watchdog(clock)
+        watchdog.slide_started(3600)
+        clock.now = 10.0
+        assert watchdog.check()       # fire 1; next at +5s
+        clock.now = 12.0
+        assert not watchdog.check()   # inside the backoff window
+        clock.now = 15.0
+        assert watchdog.check()       # fire 2; next at +10s
+        clock.now = 20.0
+        assert not watchdog.check()
+        clock.now = 25.0
+        assert watchdog.check()       # fire 3: budget spent
+        clock.now = 500.0
+        assert not watchdog.check()   # still counted, no more kills
+        assert watchdog.stalls_detected == 4
+        assert watchdog.interventions == 3
+
+    def test_new_slide_resets_the_intervention_budget(self):
+        clock = FakeClock()
+        watchdog, stalls = make_watchdog(clock, max_attempts=1)
+        watchdog.slide_started(3600)
+        clock.now = 11.0
+        assert watchdog.check()
+        watchdog.slide_finished()
+        watchdog.slide_started(5400)
+        clock.now = 25.0
+        assert watchdog.check()
+        assert len(stalls) == 2
+
+    def test_on_stall_errors_are_contained(self):
+        clock = FakeClock()
+        watchdog = SlideWatchdog(
+            timeout_seconds=1.0,
+            on_stall=lambda *_: (_ for _ in ()).throw(RuntimeError("boom")),
+            clock=clock,
+        )
+        watchdog.slide_started(60)
+        clock.now = 2.0
+        assert watchdog.check()  # the callback error must not propagate
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError):
+            SlideWatchdog(timeout_seconds=0)
