@@ -502,6 +502,33 @@ def run_chaos_benchmark(
     }
 
 
+def run_lint_benchmark(paths: tuple[str, ...] = ("src", "tests")) -> dict:
+    """Time the project's own static analyzer over the tree.
+
+    The ``static_analysis`` section of ``BENCH_pipeline.json``: the
+    analyzer runs inside an activated obs registry (so it measures itself
+    through the same instruments as the pipeline, see
+    docs/STATIC_ANALYSIS.md) and reports files scanned, findings,
+    suppressions, throughput, and per-rule seconds.
+    """
+    from repro.analysis import run_analysis
+
+    repo_root = Path(__file__).resolve().parent.parent
+    with obs.activate(obs.MetricsRegistry()) as registry:
+        result = run_analysis([repo_root / path for path in paths])
+        recorded_files = registry.counter("analysis.files").value
+        recorded_runs = registry.histogram("analysis.run_seconds").count
+    return {
+        "paths": list(paths),
+        "clean": not result.diagnostics,
+        "findings": [d.to_dict() for d in result.diagnostics],
+        **result.stats(),
+        # Cross-check: the obs registry saw the same run the result did.
+        "obs_files": int(recorded_files),
+        "obs_runs_recorded": recorded_runs,
+    }
+
+
 def record_result(name: str, lines: list[str]) -> Path:
     """Write a result table under benchmarks/results/ and echo it.
 
@@ -541,6 +568,10 @@ if __name__ == "__main__":
                              "steady-state overhead (service bench with vs "
                              "without the ingest journal, fsync=batch) and "
                              "journal recovery time")
+    parser.add_argument("--lint", action="store_true",
+                        help="also time `python -m repro.analysis` over "
+                             "src and tests and record analyzer "
+                             "throughput and per-rule seconds")
     parser.add_argument("--json-path", default=BENCH_PIPELINE_PATH,
                         help="where to write the report "
                              "(default: repo-root BENCH_pipeline.json)")
@@ -562,6 +593,8 @@ if __name__ == "__main__":
         bench_report["chaos"] = run_chaos_benchmark(
             fleet_size=cli.fleet_size, duration=duration_seconds
         )
+    if cli.lint:
+        bench_report["static_analysis"] = run_lint_benchmark()
     write_report(bench_report, cli.json_path)
     throughput = bench_report["throughput"]
     print(f"BENCH_pipeline written to {cli.json_path}")
@@ -602,4 +635,13 @@ if __name__ == "__main__":
             f"recovery={recovery['replay_seconds']:.2f}s for "
             f"{recovery['journaled_records']} records "
             f"({recovery['replay_records_per_sec']:.0f} rec/s)"
+        )
+    if cli.lint:
+        lint = bench_report["static_analysis"]
+        print(
+            f"  static analysis: {lint['files']} files in "
+            f"{lint['elapsed_seconds']:.2f}s "
+            f"({lint['files_per_sec']:.0f} files/s)  "
+            f"findings={lint['diagnostics']}  "
+            f"suppressed={lint['suppressed']}  clean={lint['clean']}"
         )

@@ -192,20 +192,12 @@ def _install_chaos(args: argparse.Namespace) -> None:
     """Install the ``--chaos`` / ``--chaos-seed`` fault plan, if any."""
     if not args.chaos and args.chaos_seed is None:
         return
-    from repro.resilience import FaultPlan, install
+    from repro.resilience import FaultPlan, install, seedable_sites
 
     if args.chaos:
         plan = FaultPlan.from_spec(args.chaos)
     else:
-        plan = FaultPlan.seeded(
-            args.chaos_seed,
-            sites={
-                "service.ingest.socket": ("drop",),
-                "service.slide": ("delay", "error"),
-                "mod.write": ("error",),
-                "mod.reconstruct": ("error",),
-            },
-        )
+        plan = FaultPlan.seeded(args.chaos_seed, sites=seedable_sites())
     install(plan)
     print(f"chaos plan installed: {plan.to_spec()}")
 

@@ -16,6 +16,7 @@ never completed, which are *counted*, never silently lost.
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.ais.messages import decode_payload
 from repro.ais.nmea import (
     AivdmSentence,
@@ -90,6 +91,7 @@ class FragmentAssembler:
         group = self._pending.get(key)
         if group is not None and parsed.fragment_number in group:
             self.dropped_sentences += len(group)
+            obs.count("ais.fragments.dropped", len(group))
             del self._pending[key]
             group = None
         if group is None:
@@ -109,13 +111,17 @@ class FragmentAssembler:
     def _evict_overflow(self) -> None:
         while len(self._pending) > self.max_pending:
             oldest = next(iter(self._pending))
-            self.dropped_sentences += len(self._pending.pop(oldest))
+            evicted = len(self._pending.pop(oldest))
+            self.dropped_sentences += evicted
+            obs.count("ais.fragments.dropped", evicted)
 
     def flush(self) -> int:
         """Drop all pending partial groups; returns sentences discarded."""
         dropped = sum(len(group) for group in self._pending.values())
         self._pending.clear()
         self.dropped_sentences += dropped
+        if dropped:
+            obs.count("ais.fragments.dropped", dropped)
         return dropped
 
 

@@ -1,0 +1,59 @@
+"""Diagnostic records and their two output formats.
+
+A :class:`Diagnostic` is one finding: rule code, location, message.  The
+human format is the conventional ``path:line:col: CODE message`` (one
+per line, clickable in editors and CI logs); the JSON format is a stable
+schema (``repro.analysis/diagnostics-v1``) for machine consumers — the
+golden tests pin it, so extend it additively only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any
+
+#: Schema tag of the JSON output, bumped only on breaking layout changes.
+JSON_SCHEMA = "repro.analysis/diagnostics-v1"
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding, ordered by location so reports are deterministic."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """The human one-liner: ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form used by the JSON output."""
+        return asdict(self)
+
+
+def render_human(diagnostics: list[Diagnostic]) -> str:
+    """All diagnostics, one per line, plus a trailing summary line."""
+    lines = [diagnostic.format() for diagnostic in diagnostics]
+    count = len(diagnostics)
+    lines.append(
+        "no issues found" if count == 0
+        else f"{count} issue{'s' if count != 1 else ''} found"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    diagnostics: list[Diagnostic], stats: dict[str, Any]
+) -> str:
+    """The machine-readable report (indented, trailing newline)."""
+    payload = {
+        "schema": JSON_SCHEMA,
+        "diagnostics": [diagnostic.to_dict() for diagnostic in diagnostics],
+        "stats": stats,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"

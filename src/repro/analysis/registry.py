@@ -1,0 +1,109 @@
+"""The rule registry: every check self-registers under its RPR code.
+
+A rule is a class with a ``code`` (``RPR001``…), a one-line ``summary``
+and two hooks:
+
+* :meth:`Rule.check_module` — called once per parsed module, yields
+  :class:`~repro.analysis.diagnostics.Diagnostic` objects for findings
+  local to that module;
+* :meth:`Rule.finalize` — called once after every module was visited,
+  for project-wide invariants (e.g. RPR003's fault-site registry match,
+  which needs both the registry module and every call site).
+
+Rules are instantiated fresh per engine run, so they may accumulate
+state across ``check_module`` calls and consume it in ``finalize``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.analysis.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.engine import ModuleContext
+
+
+class Rule:
+    """Base class for one registered check."""
+
+    #: Unique diagnostic code, e.g. ``"RPR001"``.
+    code: ClassVar[str] = ""
+    #: One-line description shown by ``--list-rules``.
+    summary: ClassVar[str] = ""
+
+    def check_module(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        """Findings local to one module (default: none)."""
+        return iter(())
+
+    def finalize(self) -> Iterator[Diagnostic]:
+        """Project-wide findings after all modules were seen (default: none)."""
+        return iter(())
+
+
+#: code -> rule class, in registration order.
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (codes are unique)."""
+    code = rule_class.code
+    if not code:
+        raise ValueError(f"rule {rule_class.__name__} has no code")
+    if code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {code}")
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def _ensure_loaded() -> None:
+    """Import the bundled rule modules so they self-register."""
+    if not _REGISTRY:
+        import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+
+def rule_codes() -> list[str]:
+    """All registered codes, sorted."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_rule(code: str) -> type[Rule]:
+    """The rule class registered under ``code`` (KeyError if unknown)."""
+    _ensure_loaded()
+    return _REGISTRY[code]
+
+
+def all_rules() -> list[type[Rule]]:
+    """Every registered rule class, in code order."""
+    _ensure_loaded()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def select_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[type[Rule]]:
+    """Resolve ``--select`` / ``--ignore`` into rule classes.
+
+    ``select`` keeps only the listed codes (default: all); ``ignore``
+    then removes codes.  Unknown codes raise ``ValueError`` so typos
+    fail loudly instead of silently checking nothing.
+    """
+    _ensure_loaded()
+    known = set(_REGISTRY)
+    chosen = list(select) if select is not None else sorted(known)
+    dropped = set(ignore) if ignore is not None else set()
+    for code in [*chosen, *dropped]:
+        if code not in known:
+            raise ValueError(
+                f"unknown rule code {code!r}; known: {', '.join(sorted(known))}"
+            )
+    return [
+        _REGISTRY[code] for code in sorted(set(chosen) - dropped)
+    ]
+
+
+#: Signature of the per-rule timing callback the engine passes around.
+RuleTimer = Callable[[str, float], None]

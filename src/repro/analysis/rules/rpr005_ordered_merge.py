@@ -1,0 +1,104 @@
+"""RPR005 — shard-merge code iterates sets/dicts only through sorted().
+
+The process-parallel runtime's whole correctness story
+(docs/RUNTIME.md) is that every merge of per-shard output is defined by
+an *explicit total order*, never by arrival or hash order.  Python dicts
+preserve insertion order — which, in merge code, is exactly the
+non-deterministic arrival order being merged — and set iteration order
+depends on hashes.  One bare ``for … in mapping.items()`` in a merge
+path can ship different byte streams at different shard counts while
+every test with one ordering still passes.
+
+Inside ``repro.runtime`` modules, any ``for`` loop or comprehension
+whose iterable is
+
+* ``<expr>.keys()`` / ``.values()`` / ``.items()``, or
+* a ``set(...)`` / ``frozenset(...)`` call, a set literal or a set
+  comprehension
+
+must wrap it in ``sorted(...)`` (which the rule recognizes because the
+iterable is then the ``sorted`` call, not the bare view).  Iteration
+that is genuinely order-insensitive (pure sums, membership counting)
+can take a line-scoped ``# repro: allow[RPR005]`` with a comment saying
+why.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutils import dotted_parts
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import ModuleContext
+from repro.analysis.registry import Rule, register
+
+#: Package containing the shard-merge discipline domain.
+MERGE_PACKAGE = "repro.runtime"
+
+_VIEW_METHODS = frozenset({"keys", "values", "items"})
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+
+def in_scope(module: str) -> bool:
+    """Whether RPR005 applies to a module."""
+    return module == MERGE_PACKAGE or module.startswith(MERGE_PACKAGE + ".")
+
+
+def _unordered_reason(iterable: ast.expr) -> str | None:
+    """Why iterating this expression is order-unstable, or None."""
+    if isinstance(iterable, ast.Call):
+        if (
+            isinstance(iterable.func, ast.Attribute)
+            and iterable.func.attr in _VIEW_METHODS
+        ):
+            return f"dict view `.{iterable.func.attr}()`"
+        parts = dotted_parts(iterable.func)
+        if parts is not None and parts[-1] in _SET_CONSTRUCTORS and (
+            len(parts) == 1
+        ):
+            return f"`{parts[0]}(...)` constructor"
+    if isinstance(iterable, (ast.Set, ast.SetComp)):
+        return "set literal"
+    return None
+
+
+def _iterables(tree: ast.Module) -> Iterator[ast.expr]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                yield generator.iter
+
+
+@register
+class OrderedMergeRule(Rule):
+    """repro.runtime must not iterate bare sets/dict views."""
+
+    code = "RPR005"
+    summary = (
+        "shard-merge code must not iterate bare set/dict without an "
+        "explicit sorted(...)"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if not in_scope(module.module):
+            return
+        for iterable in _iterables(module.tree):
+            reason = _unordered_reason(iterable)
+            if reason is None:
+                continue
+            yield Diagnostic(
+                path=module.path,
+                line=iterable.lineno,
+                col=iterable.col_offset,
+                rule=self.code,
+                message=(
+                    f"unordered iteration over {reason} in merge code; "
+                    f"wrap it in sorted(...) so the merge is defined by an "
+                    f"explicit total order, or allow it with a justifying "
+                    f"comment if provably order-insensitive"
+                ),
+            )

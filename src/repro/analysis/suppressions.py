@@ -1,0 +1,51 @@
+"""Per-line rule suppression: ``# repro: allow[RPR001]``.
+
+A diagnostic is suppressed when the *line it is reported on* carries an
+allow comment naming its rule code (several codes comma-separate:
+``# repro: allow[RPR001,RPR005]``).  Comments are found with
+:mod:`tokenize`, so suppressions on continuation lines and after code
+both work; strings that merely *contain* the marker do not suppress.
+
+Suppression is deliberately line-scoped and code-explicit — there is no
+file-level or blanket ``allow``.  An invariant exemption should be
+visible exactly where it is taken, and reviewable there.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_ALLOW = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9_,\s]+)\]")
+
+
+def suppressed_lines(source: str) -> dict[int, set[str]]:
+    """Map line number -> set of rule codes allowed on that line."""
+    allowed: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW.search(token.string)
+            if match is None:
+                continue
+            codes = {
+                code.strip()
+                for code in match.group(1).split(",")
+                if code.strip()
+            }
+            allowed.setdefault(token.start[0], set()).update(codes)
+    except tokenize.TokenizeError:
+        # A file the tokenizer rejects is reported as a parse error by
+        # the engine; suppressions are moot there.
+        pass
+    return allowed
+
+
+def is_suppressed(
+    allowed: dict[int, set[str]], line: int, code: str
+) -> bool:
+    """Whether ``code`` is allowed on ``line``."""
+    return code in allowed.get(line, ())

@@ -29,6 +29,9 @@ Module-level helpers (``span``, ``count``, ``observe``, ``set_gauge``)
 always act on the *current* global registry.
 """
 
+from __future__ import annotations
+
+from collections.abc import Iterator
 from contextlib import contextmanager
 
 from repro.obs.registry import (
@@ -38,7 +41,7 @@ from repro.obs.registry import (
     MetricsRegistry,
     render_prometheus,
 )
-from repro.obs.spans import NULL_SPAN, Span
+from repro.obs.spans import NULL_SPAN, Span, _NullSpan
 
 __all__ = [
     "Counter",
@@ -79,7 +82,7 @@ def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
 
 
 @contextmanager
-def activate(registry: MetricsRegistry):
+def activate(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
     """Temporarily install ``registry`` (enabled) as the global one."""
     registry.enabled = True
     previous = set_registry(registry)
@@ -106,12 +109,12 @@ def is_enabled() -> bool:
     return _REGISTRY.enabled
 
 
-def span(name: str):
+def span(name: str) -> Span | _NullSpan:
     """Open a timing span on the global registry (no-op when disabled)."""
     return _REGISTRY.span(name)
 
 
-def timed_span(name: str):
+def timed_span(name: str) -> Span | _NullSpan:
     """A span that *always* measures wall-clock, recording only if enabled.
 
     The pipeline's phase timings feed

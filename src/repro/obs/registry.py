@@ -19,8 +19,14 @@ deliberately lock-free — like the paper's main-memory tracker it assumes a
 single-threaded pipeline; use one registry per worker when partitioning.
 """
 
+from __future__ import annotations
+
 import re
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.spans import Span, _NullSpan
 
 #: Quantiles reported in snapshots, as (label, q) pairs.
 SNAPSHOT_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
@@ -74,7 +80,7 @@ class Histogram:
     total: float = 0.0
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
-    _samples: list = field(default_factory=list, repr=False)
+    _samples: list[float] = field(default_factory=list, repr=False)
     _stride: int = field(default=1, repr=False)
     _phase: int = field(default=0, repr=False)
 
@@ -112,7 +118,7 @@ class Histogram:
         fraction = position - lower
         return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, float]:
         """Plain-dict summary: count, mean, min/max and the quantiles."""
         if self.count == 0:
             return {"count": 0, "total": 0.0, "mean": 0.0,
@@ -147,7 +153,7 @@ class MetricsRegistry:
         #: span-path -> duration histogram, kept apart from user histograms
         self._span_histograms: dict[str, Histogram] = {}
         #: stack of currently open Span objects (innermost last)
-        self._span_stack: list = []
+        self._span_stack: list[Span] = []
 
     # -- instrument access ----------------------------------------------
 
@@ -191,7 +197,7 @@ class MetricsRegistry:
 
     # -- spans -----------------------------------------------------------
 
-    def span(self, name: str, always: bool = False):
+    def span(self, name: str, always: bool = False) -> Span | _NullSpan:
         """A timing span context manager (see :mod:`repro.obs.spans`).
 
         Disabled registries return a shared no-op span unless ``always``
@@ -205,7 +211,7 @@ class MetricsRegistry:
             return NULL_SPAN
         return Span(self, name)
 
-    def current_span(self):
+    def current_span(self) -> Span | None:
         """The innermost open span, or ``None``."""
         return self._span_stack[-1] if self._span_stack else None
 
@@ -234,7 +240,7 @@ class MetricsRegistry:
         self._span_histograms.clear()
         self._span_stack.clear()
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """Machine-readable dump of every instrument.
 
         Layout::

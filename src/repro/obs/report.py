@@ -23,7 +23,15 @@ processing time (not simulated time), i.e. they answer "how fast does this
 machine chew through the stream", the Figure-7 question.
 """
 
+from __future__ import annotations
+
 import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from os import PathLike
+
+    from repro.obs.registry import Histogram, MetricsRegistry
 
 SCHEMA = "repro.obs/pipeline-v1"
 
@@ -32,7 +40,7 @@ SCHEMA = "repro.obs/pipeline-v1"
 PHASE_HISTOGRAM_PREFIX = "pipeline.phase."
 
 
-def _phase_summary(histogram) -> dict:
+def _phase_summary(histogram: Histogram) -> dict[str, float]:
     """Millisecond-denominated summary of one phase histogram."""
     summary = histogram.summary()
     return {
@@ -46,7 +54,11 @@ def _phase_summary(histogram) -> dict:
     }
 
 
-def build_pipeline_report(system, registry, config: dict | None = None) -> dict:
+def build_pipeline_report(
+    system: Any,
+    registry: MetricsRegistry,
+    config: dict[str, Any] | None = None,
+) -> dict[str, Any]:
     """The standard observability report for one pipeline run.
 
     Parameters
@@ -61,7 +73,7 @@ def build_pipeline_report(system, registry, config: dict | None = None) -> dict:
     """
     from repro.pipeline.metrics import PHASES
 
-    phases = {}
+    phases: dict[str, dict[str, float]] = {}
     processing_seconds = 0.0
     for phase in PHASES:
         histogram = registry._histograms.get(PHASE_HISTOGRAM_PREFIX + phase)
@@ -79,7 +91,7 @@ def build_pipeline_report(system, registry, config: dict | None = None) -> dict:
     def rate(total: float) -> float:
         return total / processing_seconds if processing_seconds > 0 else 0.0
 
-    report = {
+    report: dict[str, Any] = {
         "schema": SCHEMA,
         "config": dict(config or {}),
         "slides": system.timings.slides,
@@ -102,7 +114,7 @@ def build_pipeline_report(system, registry, config: dict | None = None) -> dict:
     return report
 
 
-def _runtime_summary(registry) -> dict:
+def _runtime_summary(registry: MetricsRegistry) -> dict[str, Any]:
     """Condense the process-parallel runtime's instruments, if any ran.
 
     Present only for :class:`repro.runtime.ParallelSurveillanceSystem`
@@ -116,10 +128,10 @@ def _runtime_summary(registry) -> dict:
         return {}
     counters = {name: c.value for name, c in registry._counters.items()}
     shards = int(gauges["runtime.shards"])
-    per_shard = {}
+    per_shard: dict[str, dict[str, Any]] = {}
     for shard_id in range(shards):
         prefix = f"runtime.shard.{shard_id}."
-        entry = {}
+        entry: dict[str, Any] = {}
         for phase in ("tracking", "recognition"):
             histogram = registry._histograms.get(prefix + phase)
             if histogram is not None:
@@ -139,7 +151,7 @@ def _runtime_summary(registry) -> dict:
     }
 
 
-def write_report(report: dict, path) -> None:
+def write_report(report: dict[str, Any], path: str | PathLike[str]) -> None:
     """Write a report as indented JSON (trailing newline included)."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)

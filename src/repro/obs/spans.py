@@ -22,7 +22,13 @@ enter/exit do nothing at all — no clock reads, no allocation — so
 instrumented hot paths cost one branch when metrics are off.
 """
 
+from __future__ import annotations
+
 import time
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.registry import MetricsRegistry
 
 
 class Span:
@@ -41,7 +47,7 @@ class Span:
 
     __slots__ = ("registry", "name", "path", "parent", "seconds", "_started")
 
-    def __init__(self, registry, name: str):
+    def __init__(self, registry: MetricsRegistry, name: str):
         self.registry = registry
         self.name = name
         self.path = name
@@ -49,7 +55,7 @@ class Span:
         self.seconds = 0.0
         self._started = 0.0
 
-    def __enter__(self) -> "Span":
+    def __enter__(self) -> Span:
         stack = self.registry._span_stack
         self.parent = stack[-1] if stack else None
         if self.parent is not None:
@@ -58,7 +64,7 @@ class Span:
         self._started = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.seconds = time.perf_counter() - self._started
         stack = self.registry._span_stack
         if stack and stack[-1] is self:
@@ -79,10 +85,10 @@ class _NullSpan:
     parent = None
     seconds = 0.0
 
-    def __enter__(self) -> "_NullSpan":
+    def __enter__(self) -> _NullSpan:
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         return None
 
     def __repr__(self) -> str:

@@ -28,6 +28,7 @@ Guarantees, fault sites and trade-offs: docs/RESILIENCE.md.
 
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.faults import (
+    SITES,
     FaultInjector,
     FaultPlan,
     FaultSpec,
@@ -37,6 +38,7 @@ from repro.resilience.faults import (
     get_injector,
     inject,
     install,
+    seedable_sites,
     uninstall,
 )
 from repro.resilience.guard import GuardedDatabase, SpillQueue
@@ -51,6 +53,7 @@ from repro.resilience.wal import (
 from repro.resilience.watchdog import SlideWatchdog
 
 __all__ = [
+    "SITES",
     "BackoffPolicy",
     "CircuitBreaker",
     "FaultInjector",
@@ -71,5 +74,6 @@ __all__ = [
     "install",
     "read_wal",
     "retry_call",
+    "seedable_sites",
     "uninstall",
 ]

@@ -46,6 +46,40 @@ from repro import obs
 HANDLED_KINDS = ("error", "delay")
 KNOWN_KINDS = ("error", "delay", "drop", "crash", "corrupt", "kill")
 
+#: The central fault-site registry: every ``fault_point("…")`` literal in
+#: the tree maps here to the kinds meaningful at that site, and static
+#: analysis (rule RPR003, see docs/STATIC_ANALYSIS.md) enforces the match
+#: in both directions — no undocumented chaos surfaces, no dead entries.
+#: The table in this module's docstring and docs/RESILIENCE.md mirror it.
+SITES: dict[str, tuple[str, ...]] = {
+    "service.ingest.socket": ("drop",),
+    "service.slide": ("delay", "error", "crash"),
+    "mod.write": ("error",),
+    "mod.reconstruct": ("error",),
+    "wal.append": ("corrupt",),
+    "runtime.worker": ("kill",),
+}
+
+#: Kinds safe to draw blindly into a seeded plan: they perturb timing or
+#: sever connections but never require a kind-specific argument (``kill``
+#: wants a shard id) and never violate the durability contract a smoke
+#: run asserts afterwards (``corrupt``, ``crash`` are for targeted
+#: drills, not blind sampling).
+SEEDABLE_KINDS = ("drop", "delay", "error")
+
+
+def seedable_sites() -> dict[str, tuple[str, ...]]:
+    """The :data:`SITES` subset usable by ``FaultPlan.seeded``.
+
+    Sites keep only their :data:`SEEDABLE_KINDS`; sites with none left
+    (``wal.append``, ``runtime.worker``) are omitted entirely.
+    """
+    filtered = {
+        site: tuple(kind for kind in kinds if kind in SEEDABLE_KINDS)
+        for site, kinds in SITES.items()
+    }
+    return {site: kinds for site, kinds in filtered.items() if kinds}
+
 
 class InjectedFault(RuntimeError):
     """An error deliberately raised by the fault injector."""

@@ -40,7 +40,7 @@ def point_to_payload(point: CriticalPoint) -> bytes:
         },
         separators=(",", ":"),
         sort_keys=True,
-    ).encode("utf-8")
+    ).encode()
 
 
 def payload_to_point(payload: bytes) -> CriticalPoint:

@@ -391,7 +391,7 @@ class IngestJournal:
 
     def append(self, receive_time: int, sentence: str) -> int:
         """Journal one ingested sentence *before* it is processed."""
-        return self.wal.append(f"{receive_time}\t{sentence}".encode("utf-8"))
+        return self.wal.append(f"{receive_time}\t{sentence}".encode())
 
     def sync(self) -> None:
         self.wal.sync()

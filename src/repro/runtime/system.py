@@ -267,7 +267,7 @@ class ParallelSurveillanceSystem:
         registry = obs.get_registry()
         if not registry.enabled:
             return
-        for phase, seconds in slide_timings.items():
+        for phase, seconds in sorted(slide_timings.items()):
             registry.observe(f"pipeline.phase.{phase}", seconds)
         registry.inc("pipeline.slides")
         registry.inc("pipeline.raw_positions", raw_positions)

@@ -80,7 +80,7 @@ class FeedHub:
 
     def publish(self, line: str) -> None:
         """Queue one line (newline appended) to every subscriber."""
-        payload = (line + "\n").encode("utf-8")
+        payload = (line + "\n").encode()
         obs.count("service.feed.published")
         for subscriber in list(self._subscribers):
             if subscriber.evicted:
@@ -94,9 +94,14 @@ class FeedHub:
         subscriber.evicted = True
         self.evicted_count += 1
         obs.count("service.feed.evicted")
-        # Unblock the writer task; anything still queued is abandoned.
+        # Unblock the writer task; anything still queued is abandoned —
+        # but counted, so eviction is never silent data loss.
+        dropped = 0
         while not subscriber.queue.empty():
             subscriber.queue.get_nowait()
+            dropped += 1
+        if dropped:
+            obs.count("service.feed.dropped_lines", dropped)
         subscriber.queue.put_nowait(None)
         self._subscribers.discard(subscriber)
 
@@ -112,7 +117,9 @@ class FeedHub:
                 subscriber.queue.put_nowait(None)
             except asyncio.QueueFull:
                 self._evict(subscriber)
-                continue
+            # Await the writer task either way: an evicted subscriber's
+            # task still has to finish closing its socket before close()
+            # returns, or shutdown leaks a task mid-write.
             if subscriber.task is not None:
                 tasks.append(subscriber.task)
         if tasks:

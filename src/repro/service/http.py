@@ -151,9 +151,9 @@ class HttpApi:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                    405: "Method Not Allowed"}
         if isinstance(payload, str):
-            body = payload.encode("utf-8")
+            body = payload.encode()
         else:
-            body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode()
         head = (
             f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
             f"Content-Type: {content_type}\r\n"

@@ -138,6 +138,10 @@ class IngestServer:
                     raw.decode("ascii", errors="replace"), self._clock()
                 )
                 if parsed is None:
+                    # Blank/comment/garbled lines are skipped by design,
+                    # but never invisibly: operators distinguish a quiet
+                    # feed from one sending junk by this counter.
+                    obs.count("service.ingest.ignored")
                     continue
                 obs.count("service.ingest.lines")
                 self.queue.put(*parsed)

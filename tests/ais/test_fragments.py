@@ -107,6 +107,28 @@ class TestScannerReassembly:
             assert assembler.add(unwrap_aivdm(first)) is None
         assert assembler.dropped_sentences == 2
 
+    def test_fragment_drops_reach_the_obs_registry(self):
+        """Dropped fragment groups are not just a local attribute: every
+        drop path (supersession, overflow eviction, flush) increments
+        ``ais.fragments.dropped`` so operators see loss without polling
+        scanner internals."""
+        from repro import obs
+
+        with obs.activate(obs.MetricsRegistry()) as registry:
+            assembler = FragmentAssembler(max_pending=2)
+            payload, fill = encode_position_report(type19_report())
+            for message_id in range(4):  # overflow: evicts 2 groups
+                first, _ = wrap_aivdm_fragments(
+                    payload, fill, message_id=message_id
+                )
+                assembler.add(unwrap_aivdm(first))
+            first, _ = wrap_aivdm_fragments(payload, fill, message_id=3)
+            assembler.add(unwrap_aivdm(first))  # supersedes: drops 1 group
+            flushed = assembler.flush()  # drops the 2 still pending
+            counted = registry.counter("ais.fragments.dropped").value
+        assert flushed == 2
+        assert counted == assembler.dropped_sentences == 5
+
     def test_corrupt_fragment_checksum_still_counted(self):
         payload, fill = encode_position_report(type19_report())
         first, second = wrap_aivdm_fragments(payload, fill)

@@ -1,0 +1,19 @@
+"""RPR003 fixture registry: masquerades as ``repro.resilience.faults``.
+
+``demo.site`` is declared and referenced (fine); ``demo.orphan`` is
+declared but never referenced (orphan finding); ``demo.unknown`` is
+referenced from bad_faults.py but not declared (unknown finding).
+"""
+
+SITES: dict[str, tuple[str, ...]] = {
+    "demo.site": ("error",),
+    "demo.orphan": ("delay",),
+}
+
+
+def fault_point(site: str):
+    return None
+
+
+def used_site():
+    return fault_point("demo.site")

@@ -1,0 +1,18 @@
+"""RPR005 fixture: unordered iteration in shard-merge code."""
+
+
+def merge(shard_outputs: dict):
+    merged = []
+    for shard, lines in shard_outputs.items():  # RPR005: bare .items()
+        merged.extend(lines)
+    for line in {tuple(line) for line in merged}:  # RPR005: set comp
+        pass
+    unique = [x for x in set(merged)]  # RPR005: bare set(...)
+    return merged, unique
+
+
+def merge_ordered(shard_outputs: dict):
+    merged = []
+    for shard, lines in sorted(shard_outputs.items()):  # fine: sorted
+        merged.extend(lines)
+    return merged

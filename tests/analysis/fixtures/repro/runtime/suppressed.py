@@ -1,0 +1,13 @@
+"""Suppression fixture: a real RPR005 finding silenced on its line."""
+
+
+def count_members(mapping: dict):
+    total = 0
+    for value in mapping.values():  # repro: allow[RPR005] pure sum, order-free
+        total += value
+    return total
+
+
+def unsuppressed(mapping: dict):
+    for value in mapping.values():  # RPR005: no allow comment here
+        return value

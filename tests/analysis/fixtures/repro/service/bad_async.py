@@ -1,0 +1,27 @@
+"""RPR002 fixture: blocking calls inside ``async def`` in repro.service."""
+
+import sqlite3
+import time
+
+
+async def blocking_sleep():
+    time.sleep(0.1)  # RPR002: blocks the event loop
+
+
+async def blocking_io():
+    with open("somefile") as handle:  # RPR002: sync file I/O
+        return handle.read()
+
+
+async def blocking_db():
+    return sqlite3.connect(":memory:")  # RPR002: sync sqlite
+
+
+async def fine():
+    import asyncio
+
+    await asyncio.sleep(0)  # allowed: async primitive
+
+
+def sync_helper():
+    time.sleep(0.1)  # allowed: not inside async def

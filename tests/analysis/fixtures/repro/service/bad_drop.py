@@ -1,0 +1,23 @@
+"""RPR004 fixture: shedding without counting, in a queueing package."""
+
+
+class LossyQueue:
+    def __init__(self):
+        self.items = []
+
+    def shed_oldest(self):  # RPR004: named shed, no counter
+        if self.items:
+            self.items.pop(0)
+
+    def drain(self, queue):  # RPR004: get_nowait without counter
+        drained = []
+        while True:
+            try:
+                drained.append(queue.get_nowait())
+            except Exception:
+                break
+        return drained
+
+    def evict_counted(self, obs):  # fine: counts what it drops
+        self.items.clear()
+        obs.count("demo.evicted")

@@ -1,0 +1,8 @@
+"""RPR003 fixture call site: fires an undeclared fault site."""
+
+from repro.resilience.faults import fault_point
+
+
+def risky_path():
+    spec = fault_point("demo.unknown")  # RPR003: not in SITES
+    return spec

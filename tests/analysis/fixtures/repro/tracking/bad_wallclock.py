@@ -1,0 +1,29 @@
+"""RPR001 fixture: wall-clock and unseeded randomness in a deterministic path.
+
+This file masquerades as ``repro.tracking.bad_wallclock`` (the module
+name is anchored at the ``repro`` path component), so every banned call
+below must be reported by RPR001.
+"""
+
+import random
+import time as clock
+from datetime import datetime
+
+
+def stamp_now():
+    return clock.time()  # RPR001: aliased time.time()
+
+
+def stamp_datetime():
+    return datetime.now()  # RPR001: wall-clock datetime
+
+
+def jitter():
+    return random.random()  # RPR001: module-level RNG
+
+
+def allowed_paths():
+    # perf_counter is timing-only and seeded Random is deterministic:
+    # neither may be flagged.
+    rng = random.Random(2015)
+    return clock.perf_counter(), rng.random()

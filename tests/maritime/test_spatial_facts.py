@@ -36,7 +36,7 @@ class TestSpatialFactsFor:
     def test_fact_carries_vessel_area_and_timestamp(self, world):
         event = make_event(world, timestamp=123)
         facts = spatial_facts_for(event, world, 3000.0)
-        for functor, args, timestamp in facts:
+        for _functor, args, timestamp in facts:
             assert args[0] == 1
             assert isinstance(args[1], str)
             assert timestamp == 123

@@ -40,10 +40,8 @@ class TestSpanNesting:
 
     def test_three_levels(self):
         registry = MetricsRegistry()
-        with registry.span("a"):
-            with registry.span("b"):
-                with registry.span("c") as c:
-                    pass
+        with registry.span("a"), registry.span("b"), registry.span("c") as c:
+            pass
         assert c.path == "a/b/c"
 
     def test_siblings_share_parent_path(self):
@@ -57,9 +55,8 @@ class TestSpanNesting:
 
     def test_exception_still_pops_and_records(self):
         registry = MetricsRegistry()
-        with pytest.raises(RuntimeError):
-            with registry.span("fails"):
-                raise RuntimeError("boom")
+        with pytest.raises(RuntimeError), registry.span("fails"):
+            raise RuntimeError("boom")
         assert registry.current_span() is None
         assert registry.span_histogram("fails").count == 1
 
@@ -98,18 +95,16 @@ class TestGlobalHelpers:
             assert registry is scoped
             assert obs.get_registry() is scoped
             obs.count("events", 2)
-            with obs.span("outer"):
-                with obs.span("inner"):
-                    pass
+            with obs.span("outer"), obs.span("inner"):
+                pass
         assert obs.get_registry() is before
         assert scoped.counter("events").value == 2.0
         assert scoped.span_paths() == ["outer", "outer/inner"]
 
     def test_activate_restores_on_error(self):
         before = obs.get_registry()
-        with pytest.raises(ValueError):
-            with obs.activate(MetricsRegistry()):
-                raise ValueError("boom")
+        with pytest.raises(ValueError), obs.activate(MetricsRegistry()):
+            raise ValueError("boom")
         assert obs.get_registry() is before
 
     def test_enable_disable_roundtrip(self):

@@ -88,7 +88,7 @@ class TestSegmentationProperties:
         # vessel was not at.
         points = materialize(raw)
         trips, _ = TripSegmenter(PORTS).segment(points)
-        for before, after in zip(trips, trips[1:]):
+        for _before, after in zip(trips, trips[1:]):
             if after.origin_port is not None:
                 assert after.origin_port in {"alpha", "beta"}
 

@@ -1,5 +1,7 @@
 """Tests for the RTEC engine core: derivation, joins, stratification."""
 
+from typing import ClassVar
+
 import pytest
 
 from repro.rtec.engine import RTEC, ComputedFluent
@@ -81,7 +83,7 @@ class TestBasicDerivation:
 
 
 class TestMultiValuedFluents:
-    RULES = [
+    RULES: ClassVar[list] = [
         initiated(
             "phase", (V,), "sailing",
             [HappensAt(EventPattern("depart", (V,)))],

@@ -73,7 +73,7 @@ class TestEngineAgainstOracle:
         result = engine.step(400)
         for vessel in ("v1", "v2"):
             intervals = result.intervals("f", (vessel,))
-            for (ts1, tf1), (ts2, tf2) in zip(intervals, intervals[1:]):
+            for (_ts1, tf1), (ts2, _tf2) in zip(intervals, intervals[1:]):
                 assert tf1 < ts2, "intervals must be disjoint and ordered"
 
     @settings(max_examples=100, deadline=None)

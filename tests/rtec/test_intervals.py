@@ -55,7 +55,7 @@ class TestIntervalsFromPoints:
     @given(inits=point_lists, terms=point_lists)
     def test_intervals_sorted_and_disjoint(self, inits, terms):
         intervals = intervals_from_points(inits, terms)
-        for (ts1, tf1), (ts2, tf2) in zip(intervals, intervals[1:]):
+        for (ts1, tf1), (ts2, _tf2) in zip(intervals, intervals[1:]):
             assert ts1 < ts2
             assert tf1 != OPEN and tf1 < ts2  # disjoint, non-adjacent
 

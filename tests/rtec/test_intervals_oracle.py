@@ -49,5 +49,5 @@ def test_regression_simultaneous_init_and_term(inits, terms):
     assert holds_at(intervals, 2)
     # And the generated inputs keep the normal form regardless.
     generated = intervals_from_points(inits, terms)
-    for (ts1, tf1), (ts2, _) in zip(generated, generated[1:]):
+    for (_ts1, tf1), (ts2, _) in zip(generated, generated[1:]):
         assert tf1 < ts2

@@ -1,5 +1,7 @@
 """Tests for negation-as-failure literals."""
 
+from typing import ClassVar
+
 import pytest
 
 from repro.rtec.engine import RTEC
@@ -32,7 +34,7 @@ def make_engine(rules, window=1000):
 
 
 class TestNotHappensAt:
-    RULES = [
+    RULES: ClassVar[list] = [
         happens_head(
             "silent_ping", (V,),
             [

@@ -1,0 +1,84 @@
+"""Slide-metrics recording must not depend on dict insertion order.
+
+The runtime's per-slide phase timings arrive as a dict whose insertion
+order reflects execution interleaving — which can differ across shard
+counts and runs.  Anything derived from iterating it (here: the order of
+histogram observations) must go through ``sorted()`` so observability
+output is byte-stable, the same discipline RPR005 enforces statically.
+"""
+
+from types import SimpleNamespace
+
+from repro import obs
+from repro.obs import MetricsRegistry
+from repro.runtime.system import ParallelSurveillanceSystem
+
+
+class RecordingRegistry(MetricsRegistry):
+    """A registry that remembers the order of ``observe`` calls."""
+
+    def __init__(self):
+        super().__init__()
+        self.observe_order = []
+
+    def observe(self, name, value):
+        self.observe_order.append(name)
+        super().observe(name, value)
+
+
+def _bare_system():
+    """A system shell with just the attributes slide metrics touch."""
+    system = ParallelSurveillanceSystem.__new__(ParallelSurveillanceSystem)
+    system.compressor = SimpleNamespace(
+        statistics=SimpleNamespace(compression_ratio=1.0)
+    )
+    system._vessels_tracked = 3
+    system.shards = 2
+    system.restart_count = lambda: 0
+    return system
+
+
+class TestPhaseObservationOrder:
+    def test_phases_recorded_in_sorted_order(self):
+        system = _bare_system()
+        # Adversarial insertion order: reverse-alphabetical.
+        timings = {"tracking": 0.3, "batch": 0.2, "alerting": 0.1}
+        with obs.activate(RecordingRegistry()) as registry:
+            system._record_slide_metrics(
+                timings,
+                raw_positions=10,
+                movement_events=4,
+                fresh=2,
+                expired=1,
+                recognized=1,
+            )
+        phases = [
+            name for name in registry.observe_order
+            if name.startswith("pipeline.phase.")
+        ]
+        assert phases == sorted(phases)
+        assert phases == [
+            "pipeline.phase.alerting",
+            "pipeline.phase.batch",
+            "pipeline.phase.tracking",
+        ]
+
+    def test_order_is_stable_across_insertion_orders(self):
+        orders = []
+        for keys in (("a", "b", "c"), ("c", "a", "b"), ("b", "c", "a")):
+            system = _bare_system()
+            timings = {key: 0.1 for key in keys}
+            with obs.activate(RecordingRegistry()) as registry:
+                system._record_slide_metrics(
+                    timings,
+                    raw_positions=0,
+                    movement_events=0,
+                    fresh=0,
+                    expired=0,
+                    recognized=0,
+                )
+            orders.append([
+                name for name in registry.observe_order
+                if name.startswith("pipeline.phase.")
+            ])
+        assert orders[0] == orders[1] == orders[2]

@@ -1,0 +1,102 @@
+"""Feed hub eviction accounting and shutdown discipline."""
+
+import asyncio
+
+from repro import obs
+from repro.service.feed import FeedHub, _Subscriber
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestEvictionAccounting:
+    def test_evict_counts_abandoned_lines(self):
+        """Every line drained from an evicted subscriber's queue shows up
+        in ``service.feed.dropped_lines`` — eviction is never silent loss."""
+        async def scenario():
+            with obs.activate(obs.MetricsRegistry()) as registry:
+                hub = FeedHub("127.0.0.1", 0, queue_size=4)
+                subscriber = _Subscriber(writer=None, queue_size=4)
+                hub._subscribers.add(subscriber)
+                for index in range(4):
+                    subscriber.queue.put_nowait(f"line{index}\n".encode())
+                hub._evict(subscriber)
+                return (
+                    registry.counter("service.feed.evicted").value,
+                    registry.counter("service.feed.dropped_lines").value,
+                    subscriber.queue.get_nowait(),
+                    hub.evicted_count,
+                )
+
+        evicted, dropped, sentinel, hub_count = run(scenario())
+        assert evicted == 1
+        assert dropped == 4
+        assert sentinel is None  # only the unblock sentinel remains
+        assert hub_count == 1
+
+    def test_publish_to_full_queue_evicts_and_counts(self):
+        async def scenario():
+            with obs.activate(obs.MetricsRegistry()) as registry:
+                hub = FeedHub("127.0.0.1", 0, queue_size=1)
+                subscriber = _Subscriber(writer=None, queue_size=1)
+                hub._subscribers.add(subscriber)
+                hub.publish("fits")
+                hub.publish("overflows")
+                return (
+                    subscriber.evicted,
+                    registry.counter("service.feed.dropped_lines").value,
+                    hub.subscriber_count,
+                )
+
+        evicted, dropped, remaining = run(scenario())
+        assert evicted
+        assert dropped == 1  # "fits" was abandoned when the queue flushed
+        assert remaining == 0
+
+
+class TestCloseAwaitsWriters:
+    def test_close_awaits_evicted_subscriber_task(self):
+        """A subscriber whose queue is full at close() is evicted — but its
+        writer task must still be awaited, or shutdown leaks a task that is
+        mid-way through closing its socket."""
+        async def scenario():
+            hub = FeedHub("127.0.0.1", 0, queue_size=1)
+            subscriber = _Subscriber(writer=None, queue_size=1)
+            hub._subscribers.add(subscriber)
+            subscriber.queue.put_nowait(b"stuck\n")  # queue now full
+            finished = asyncio.Event()
+
+            async def writer_stub():
+                while await subscriber.queue.get() is not None:
+                    pass
+                await asyncio.sleep(0.01)  # socket teardown takes a beat
+                finished.set()
+
+            subscriber.task = asyncio.ensure_future(writer_stub())
+            await hub.close()
+            return subscriber.evicted, finished.is_set()
+
+        evicted, writer_finished = run(scenario())
+        assert evicted
+        assert writer_finished, "close() returned before the evicted writer"
+
+    def test_close_awaits_healthy_subscriber_task(self):
+        async def scenario():
+            hub = FeedHub("127.0.0.1", 0, queue_size=4)
+            subscriber = _Subscriber(writer=None, queue_size=4)
+            hub._subscribers.add(subscriber)
+            finished = asyncio.Event()
+
+            async def writer_stub():
+                while await subscriber.queue.get() is not None:
+                    pass
+                finished.set()
+
+            subscriber.task = asyncio.ensure_future(writer_stub())
+            await hub.close()
+            return finished.is_set(), hub.subscriber_count
+
+        writer_finished, remaining = run(scenario())
+        assert writer_finished
+        assert remaining == 0

@@ -120,6 +120,37 @@ class TestIngestServer:
         assert items == [(42, "!AIVDM,b"), (100, "!AIVDM,a")]
         assert connections == 2
 
+    def test_unparseable_lines_are_counted_not_silent(self):
+        async def scenario():
+            with obs.activate(obs.MetricsRegistry()) as registry:
+                queue = IngestQueue(capacity=10)
+                server = IngestServer(queue, "127.0.0.1", 0, clock=lambda: 7)
+                await server.start()
+                try:
+                    _, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port
+                    )
+                    writer.write(b"# comment\n\n!AIVDM,ok\n")
+                    await writer.drain()
+                    writer.close()
+                    await writer.wait_closed()
+                    while server.open_connections:
+                        await asyncio.sleep(0.005)
+                    return (
+                        registry.counter("service.ingest.ignored").value,
+                        registry.counter("service.ingest.lines").value,
+                        len(queue),
+                    )
+                finally:
+                    await server.stop()
+
+        ignored, accepted, queued = run(scenario())
+        # The comment and the blank line are skipped by design — but the
+        # skip is visible in the registry, not silent.
+        assert ignored == 2
+        assert accepted == 1
+        assert queued == 1
+
     def test_per_connection_stats(self):
         async def scenario():
             queue = IngestQueue(capacity=10)

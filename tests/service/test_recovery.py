@@ -202,9 +202,8 @@ class TestDrainDeadline:
         from repro.pipeline.system import SurveillanceSystem
 
         service = ServiceConfig(drain_timeout_seconds=0.5, **EPHEMERAL)
-        factory = lambda world, specs, config, svc: WedgedSystem(
-            SurveillanceSystem(world, specs, config)
-        )
+        def factory(world, specs, config, svc):
+            return WedgedSystem(SurveillanceSystem(world, specs, config))
 
         async def scenario():
             supervisor = ServiceSupervisor(

@@ -134,9 +134,8 @@ class TestSoakParity:
         service = ServiceConfig(
             ingest_queue_size=64, record_ingest=True, **EPHEMERAL
         )
-        factory = lambda world, specs, config, svc: SlowSystem(
-            SurveillanceSystem(world, specs, config)
-        )
+        def factory(world, specs, config, svc):
+            return SlowSystem(SurveillanceSystem(world, specs, config))
         with obs.activate(obs.MetricsRegistry()) as registry:
             supervisor, live = asyncio.run(
                 run_live(
