@@ -165,6 +165,92 @@ def per_vessel_synopses(stream, parameters=None):
     return dict(originals), dict(synopses)
 
 
+def run_tracking_backend_sweep(
+    backends: tuple[str, ...] | None = None,
+    fleet_size: int = FLEET_SIZE,
+    duration: int = DURATION_SECONDS,
+    window: WindowSpec | None = None,
+    rounds: int = 4,
+) -> dict:
+    """Tracking-kernel throughput per backend (see docs/PERFORMANCE.md).
+
+    Replays the standard benchmark stream through every registered
+    Mobility Tracker kernel in *interleaved* rounds (scalar, array,
+    numpy, scalar, ...) and keeps each backend's best round, so CPU
+    frequency drift hits all kernels alike instead of biasing whichever
+    ran last.  Only the ``process_batch`` calls are timed — this is the
+    kernel's own throughput, without compression or IPC.
+
+    Before reporting, the sweep asserts the per-backend event streams
+    are identical (the columnar kernels' byte-for-byte parity
+    guarantee, docs/TRACKING.md): a speedup can never come from dropped
+    or reordered work.  Returns the ``tracking_backends`` section that
+    ``python benchmarks/harness.py --tracking-sweep`` embeds in
+    ``BENCH_pipeline.json``.
+    """
+    from repro.tracking.backends import available_backends, create_tracker
+
+    backends = backends or tuple(available_backends())
+    window = window or WindowSpec.of_minutes(120, 30)
+    _, _, stream = benchmark_fleet(fleet_size, duration)
+    arrivals = [TimedArrival(p.timestamp, p) for p in stream]
+    batches = [
+        batch
+        for _, batch in StreamReplayer(arrivals, window.slide_seconds).batches()
+    ]
+
+    best: dict[str, float] = {name: float("inf") for name in backends}
+    event_streams: dict[str, list] = {}
+    for _ in range(rounds):
+        for name in backends:
+            tracker = create_tracker(backend=name)
+            events = []
+            elapsed = 0.0
+            for batch in batches:
+                started = time.perf_counter()
+                produced = tracker.process_batch(batch)
+                elapsed += time.perf_counter() - started
+                events.extend(produced)
+            events.extend(tracker.finalize())
+            best[name] = min(best[name], elapsed)
+            event_streams[name] = events
+
+    reference = event_streams[backends[0]]
+    identical = all(
+        event_streams[name] == reference for name in backends[1:]
+    )
+    if not identical:  # pragma: no cover - parity is tested, not expected
+        raise AssertionError(
+            "tracking backends disagree on the benchmark stream; "
+            "run tests/tracking/test_columnar_parity.py"
+        )
+
+    scalar_seconds = best.get("scalar", best[backends[0]])
+    runs = [
+        {
+            "backend": name,
+            "best_seconds": best[name],
+            "positions_per_sec": (
+                len(stream) / best[name] if best[name] > 0 else 0.0
+            ),
+            "speedup_vs_scalar": (
+                scalar_seconds / best[name] if best[name] > 0 else 0.0
+            ),
+        }
+        for name in backends
+    ]
+    return {
+        "fleet_size": fleet_size,
+        "duration_seconds": duration,
+        "positions": len(stream),
+        "slides": len(batches),
+        "rounds": rounds,
+        "movement_events": len(reference),
+        "identical_events": identical,
+        "runs": runs,
+    }
+
+
 #: Default landing spot of the machine-readable pipeline benchmark: the
 #: repo root, so the perf trajectory (`BENCH_*.json`) accumulates per PR.
 BENCH_PIPELINE_PATH = Path(__file__).parent.parent / "BENCH_pipeline.json"
@@ -555,6 +641,11 @@ if __name__ == "__main__":
     parser.add_argument("--duration-hours", type=float,
                         default=DURATION_SECONDS / 3600,
                         help="simulated hours of traffic (default: 24)")
+    parser.add_argument("--tracking-sweep", action="store_true",
+                        help="also time every Mobility Tracker kernel over "
+                             "the benchmark stream (interleaved best-of-4, "
+                             "parity-checked) and record per-backend "
+                             "positions/sec and speedup vs scalar")
     parser.add_argument("--shard-sweep", action="store_true",
                         help="also run the process-parallel runtime at 1/2/4 "
                              "shards and record speedups vs the 1-shard "
@@ -581,6 +672,10 @@ if __name__ == "__main__":
     bench_report = run_pipeline_benchmark(
         fleet_size=cli.fleet_size, duration=duration_seconds
     )
+    if cli.tracking_sweep:
+        bench_report["tracking_backends"] = run_tracking_backend_sweep(
+            fleet_size=cli.fleet_size, duration=duration_seconds
+        )
     if cli.shard_sweep:
         bench_report["shard_sweep"] = run_shard_sweep(
             fleet_size=cli.fleet_size, duration=duration_seconds
@@ -609,6 +704,14 @@ if __name__ == "__main__":
             f"  {phase_name:>14}: p50={stats['p50_ms']:.2f}ms "
             f"p95={stats['p95_ms']:.2f}ms mean={stats['mean_ms']:.2f}ms"
         )
+    if cli.tracking_sweep:
+        for entry in bench_report["tracking_backends"]["runs"]:
+            print(
+                f"  backend={entry['backend']:>6}: "
+                f"{entry['best_seconds']:.3f}s  "
+                f"{entry['positions_per_sec']:.0f} pos/s  "
+                f"speedup={entry['speedup_vs_scalar']:.2f}x"
+            )
     if cli.shard_sweep:
         for entry in bench_report["shard_sweep"]["runs"]:
             print(

@@ -5,6 +5,7 @@ Usage::
     python -m repro [--vessels N] [--hours H] [--seed S]
                     [--window-hours W] [--slide-minutes B]
                     [--spatial-facts] [--shards N] [--checkpoint-dir PATH]
+                    [--tracking-backend scalar|array|numpy]
                     [--kml PATH] [--metrics-json PATH]
     python -m repro --serve [--port P] [--host H]
                     [--wal-dir PATH] [--fsync always|batch|never]
@@ -58,6 +59,7 @@ from repro import (
     build_aegean_world,
     compute_trip_statistics,
 )
+from repro.tracking.backends import DEFAULT_BACKEND, available_backends
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--shards", type=int, default=1,
                         help="worker shards; >1 selects the process-parallel "
                              "runtime (default: 1, single-process)")
+    parser.add_argument("--tracking-backend", default=DEFAULT_BACKEND,
+                        choices=available_backends(),
+                        help="Mobility Tracker kernel; all backends emit "
+                             "byte-identical events (docs/TRACKING.md) "
+                             f"(default: {DEFAULT_BACKEND})")
     parser.add_argument("--checkpoint-dir", metavar="PATH",
                         help="shard checkpoint directory (with --shards > 1; "
                              "default: a private temporary directory)")
@@ -141,6 +148,7 @@ def _build_pipeline_inputs(args: argparse.Namespace):
     specs = {vessel.mmsi: vessel.spec for vessel in fleet}
     config = SystemConfig(
         window=WindowSpec.of_minutes(args.window_hours * 60, args.slide_minutes),
+        tracking_backend=args.tracking_backend,
         spatial_facts=args.spatial_facts,
     )
     return world, simulator, fleet, specs, config

@@ -1,0 +1,136 @@
+"""Documentation lint: the docs tier must track the source tree.
+
+Two checks, run as ``python -m repro.analysis.doclint`` (and by the
+``static-analysis`` CI job; see docs/STATIC_ANALYSIS.md):
+
+**DOC001 — module coverage.**  Every module under ``src/repro/`` must
+be *mentioned* in at least one ``docs/*.md``, either by dotted name
+(``repro.tracking.columnar``) or by path (``tracking/columnar.py``).
+The module index in docs/ARCHITECTURE.md satisfies this wholesale; the
+point of the rule is that adding a module forces a documentation
+decision instead of silent drift.  ``__init__``/``__main__`` files are
+exempt (they are package plumbing, documented through their package).
+
+**DOC002 — link integrity.**  Every relative markdown link in
+``docs/*.md`` and ``README.md`` must resolve to an existing file,
+relative to the linking document.  External links (with a URL scheme)
+and pure in-page anchors are out of scope — the rule keeps *intra-repo*
+navigation unbroken, offline.
+
+Both checks reuse the analyzer's :class:`~repro.analysis.diagnostics.
+Diagnostic` record and exit-code contract (0 clean, 1 findings), so CI
+and editors read the output the same way as ``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic, render_human
+
+#: Markdown inline link: ``[text](target)``.  Good enough for the docs
+#: this repo writes — no reference-style links, no angle-bracket URLs.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Targets that are not files to resolve: external URLs and anchors.
+_EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:|^#")
+
+
+def repo_modules(root: Path) -> list[Path]:
+    """Lintable module files under ``src/repro/``, sorted for determinism."""
+    return sorted(
+        path
+        for path in (root / "src" / "repro").rglob("*.py")
+        if path.name not in ("__init__.py", "__main__.py")
+    )
+
+
+def module_mentions(module: Path, root: Path) -> tuple[str, str]:
+    """The two accepted mention forms of a module: dotted and path."""
+    relative = module.relative_to(root / "src").with_suffix("")
+    dotted = ".".join(relative.parts)
+    as_path = "/".join(relative.parts[1:]) + ".py"
+    return dotted, as_path
+
+
+def check_module_coverage(root: Path) -> list[Diagnostic]:
+    """DOC001: every ``src/repro`` module is mentioned in some doc."""
+    docs = sorted((root / "docs").glob("*.md"))
+    corpus = "\n".join(doc.read_text(encoding="utf-8") for doc in docs)
+    diagnostics = []
+    for module in repo_modules(root):
+        dotted, as_path = module_mentions(module, root)
+        if dotted not in corpus and as_path not in corpus:
+            diagnostics.append(Diagnostic(
+                path=str(module.relative_to(root)),
+                line=1,
+                col=1,
+                rule="DOC001",
+                message=(
+                    f"module `{dotted}` is not mentioned in any docs/*.md "
+                    "(add it to the module index in docs/ARCHITECTURE.md "
+                    "or document it where it belongs)"
+                ),
+            ))
+    return diagnostics
+
+
+def check_links(root: Path) -> list[Diagnostic]:
+    """DOC002: relative links in docs/*.md and README.md resolve."""
+    documents = sorted((root / "docs").glob("*.md"))
+    readme = root / "README.md"
+    if readme.exists():
+        documents.append(readme)
+    diagnostics = []
+    for document in documents:
+        for line_number, line in enumerate(
+            document.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if _EXTERNAL.match(target):
+                    continue
+                # A link may carry an in-page anchor; resolve the file part.
+                file_part = target.split("#", 1)[0]
+                if not file_part:
+                    continue
+                if not (document.parent / file_part).exists():
+                    diagnostics.append(Diagnostic(
+                        path=str(document.relative_to(root)),
+                        line=line_number,
+                        col=match.start(1) + 1,
+                        rule="DOC002",
+                        message=f"broken relative link `{target}`",
+                    ))
+    return diagnostics
+
+
+def run_doclint(root: Path | str = ".") -> list[Diagnostic]:
+    """Both checks over a repo root; findings sorted by location."""
+    root = Path(root).resolve()
+    docs = root / "docs"
+    if not docs.is_dir():
+        raise FileNotFoundError(f"no docs/ directory under {root}")
+    if not (root / "src" / "repro").is_dir():
+        raise FileNotFoundError(f"no src/repro/ tree under {root}")
+    return sorted(check_module_coverage(root) + check_links(root))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; same exit-code contract as ``repro.analysis``."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    root = args[0] if args else "."
+    try:
+        diagnostics = run_doclint(root)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_human(diagnostics))
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

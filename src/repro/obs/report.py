@@ -11,6 +11,7 @@ that ``--metrics-json`` and ``BENCH_pipeline.json`` share::
       "schema": "repro.obs/pipeline-v1",
       "slides": 24,
       "phases": {"tracking": {"p50_ms": ..., "p95_ms": ..., ...}, ...},
+      "tracking": {"backend": "array", "positions_per_sec": ...},
       "throughput": {"positions_per_sec": ..., "events_per_sec": ..., ...},
       "compression_ratio": 0.94,
       "metrics": {... full registry snapshot ...},
@@ -91,11 +92,26 @@ def build_pipeline_report(
     def rate(total: float) -> float:
         return total / processing_seconds if processing_seconds > 0 else 0.0
 
+    tracker = getattr(system, "tracker", None)
+    if tracker is not None:
+        backend = getattr(tracker, "backend_name", "scalar")
+    else:  # the sharded runtime keeps its trackers in worker processes
+        backend = getattr(system.config, "tracking_backend", "scalar")
+    tracking_seconds = phases.get("tracking", {}).get("total_s", 0.0)
+
     report: dict[str, Any] = {
         "schema": SCHEMA,
         "config": dict(config or {}),
         "slides": system.timings.slides,
         "phases": phases,
+        "tracking": {
+            "backend": backend,
+            "positions_per_sec": (
+                raw_positions / tracking_seconds
+                if tracking_seconds > 0
+                else 0.0
+            ),
+        },
         "throughput": {
             "raw_positions": int(raw_positions),
             "movement_events": int(movement_events),

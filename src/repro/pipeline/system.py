@@ -30,9 +30,9 @@ from repro.pipeline.config import SystemConfig
 from repro.pipeline.metrics import PhaseTimings, SlideReport
 from repro.simulator.vessel import VesselSpec
 from repro.simulator.world import WorldModel
+from repro.tracking.backends import backend_name, create_tracker
 from repro.tracking.compressor import Compressor
 from repro.tracking.exporter import TrajectoryExporter
-from repro.tracking.tracker import MobilityTracker
 from repro.tracking.types import CriticalPoint
 
 
@@ -47,7 +47,9 @@ class SurveillanceSystem:
     ):
         self.world = world
         self.config = config or SystemConfig()
-        self.tracker = MobilityTracker(self.config.tracking)
+        self.tracker = create_tracker(
+            self.config.tracking, self.config.tracking_backend
+        )
         self.compressor = Compressor(self.config.window)
         self.recognizer = MaritimeRecognizer(
             world,
@@ -146,6 +148,16 @@ class SurveillanceSystem:
             self.compressor.statistics.compression_ratio,
         )
         registry.set_gauge("pipeline.vessels_tracked", self.tracker.vessel_count())
+        tracking_seconds = slide_timings.get("tracking", 0.0)
+        if tracking_seconds > 0:
+            registry.set_gauge(
+                "tracking.positions_per_second",
+                raw_positions / tracking_seconds,
+            )
+        # Prometheus info pattern: the active kernel as a unit gauge.
+        registry.set_gauge(
+            f"tracking.backend_info.{backend_name(self.tracker)}", 1.0
+        )
 
     def finalize(self) -> SlideReport | None:
         """Flush open long-lasting events and archive the whole synopsis.

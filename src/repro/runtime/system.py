@@ -280,6 +280,16 @@ class ParallelSurveillanceSystem:
             self.compressor.statistics.compression_ratio,
         )
         registry.set_gauge("pipeline.vessels_tracked", self._vessels_tracked)
+        tracking_seconds = slide_timings.get("tracking", 0.0)
+        if tracking_seconds > 0:
+            registry.set_gauge(
+                "tracking.positions_per_second",
+                raw_positions / tracking_seconds,
+            )
+        # Prometheus info pattern: the kernel every shard worker runs.
+        registry.set_gauge(
+            f"tracking.backend_info.{self.config.tracking_backend}", 1.0
+        )
         registry.set_gauge("runtime.shards", self.shards)
         registry.set_gauge("runtime.restarts_total", self.restart_count())
 

@@ -1,6 +1,8 @@
 """The shard worker: one process, one tracking shard, one recognition band.
 
-Worker *i* owns the :class:`~repro.tracking.tracker.MobilityTracker` and
+Worker *i* owns the Mobility Tracker (whichever kernel
+``SystemConfig.tracking_backend`` selects through
+:func:`~repro.tracking.backends.create_tracker`) and the
 :class:`~repro.tracking.compressor.Compressor` for the vessels hashed to
 shard *i*, plus the :class:`~repro.maritime.recognizer.MaritimeRecognizer`
 for longitude band *i* of the partitioned world.  It is driven over a
@@ -32,8 +34,8 @@ from repro.pipeline.config import SystemConfig
 from repro.runtime.checkpoint import CheckpointStore
 from repro.simulator.vessel import VesselSpec
 from repro.simulator.world import WorldModel
+from repro.tracking.backends import create_tracker
 from repro.tracking.compressor import Compressor
-from repro.tracking.tracker import MobilityTracker
 
 #: Exit code of a worker killed through the failure-injection hook.
 POISON_EXIT_CODE = 17
@@ -59,7 +61,7 @@ class ShardWorker:
         self.world = world
         self.specs = specs
         self.config = config
-        self.tracker = MobilityTracker(config.tracking)
+        self.tracker = create_tracker(config.tracking, config.tracking_backend)
         self.compressor = Compressor(config.window)
         self.band = partition_world(world, shards)[shard_id]
         self.recognizer = MaritimeRecognizer(
@@ -91,10 +93,7 @@ class ShardWorker:
         order a single-process tracker would have produced.
         """
         started = time.perf_counter()
-        tagged_events = []
-        for global_index, position in indexed_positions:
-            for k, event in enumerate(self.tracker.process(position)):
-                tagged_events.append(((global_index, k), event))
+        tagged_events = self.tracker.process_batch_tagged(indexed_positions)
         events = [event for _, event in tagged_events]
         fresh, expired = self.compressor.slide(
             events, query_time, raw_position_count=len(indexed_positions)

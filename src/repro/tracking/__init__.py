@@ -1,14 +1,26 @@
 """Trajectory detection: the paper's first main component (Section 3).
 
-The :class:`MobilityTracker` consumes the cleaned positional stream and
-maintains one velocity vector per vessel, detecting *instantaneous* trajectory
-events (pause, speed change, turn, off-course outliers) in O(1) per tuple and
-*long-lasting* events (communication gap, smooth turn, long-term stop, slow
-motion) in O(m) over the last m positions.  The :class:`Compressor` filters
-those events at each window slide and emits annotated *critical points* — the
-~6 % of input locations that suffice to reconstruct each vessel's course.
+The Mobility Tracker consumes the cleaned positional stream and maintains
+one velocity vector per vessel, detecting *instantaneous* trajectory
+events (pause, speed change, turn, off-course outliers) in O(1) per tuple
+and *long-lasting* events (communication gap, smooth turn, long-term stop,
+slow motion) in O(m) over the last m positions.  Three interchangeable
+kernels implement that contract — the scalar reference
+:class:`MobilityTracker`, the batch/columnar :class:`ColumnarTracker`
+(the default), and its numpy variant — selected by name through
+:func:`create_tracker`; all emit byte-identical event streams.  The
+:class:`Compressor` filters those events at each window slide and emits
+annotated *critical points* — the ~6 % of input locations that suffice to
+reconstruct each vessel's course.
 """
 
+from repro.tracking.backends import (
+    DEFAULT_BACKEND,
+    available_backends,
+    backend_name,
+    create_tracker,
+)
+from repro.tracking.columnar import ColumnarTracker, NumpyColumnarTracker
 from repro.tracking.compressor import Compressor
 from repro.tracking.config import TrackingParameters
 from repro.tracking.exporter import TrajectoryExporter
@@ -22,14 +34,20 @@ from repro.tracking.types import (
 from repro.tracking.window import SlidingWindow, WindowSpec
 
 __all__ = [
+    "DEFAULT_BACKEND",
+    "ColumnarTracker",
     "Compressor",
     "CriticalPoint",
     "MobilityTracker",
     "MovementEvent",
     "MovementEventType",
+    "NumpyColumnarTracker",
     "SlidingWindow",
     "TrackingParameters",
     "TrajectoryExporter",
     "VelocityVector",
     "WindowSpec",
+    "available_backends",
+    "backend_name",
+    "create_tracker",
 ]

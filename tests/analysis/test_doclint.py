@@ -1,0 +1,101 @@
+"""The documentation linter: coverage and link integrity, plus the CI
+contract that the real repo stays clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.doclint import main, module_mentions, run_doclint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _make_repo(tmp_path, doc_text):
+    (tmp_path / "src" / "repro" / "pkg").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "pkg" / "__init__.py").write_text("")
+    (tmp_path / "src" / "repro" / "pkg" / "mod.py").write_text("x = 1\n")
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "GUIDE.md").write_text(doc_text)
+    return tmp_path
+
+
+def test_clean_when_module_mentioned_by_dotted_name(tmp_path):
+    root = _make_repo(tmp_path, "The `repro.pkg.mod` module does x.\n")
+    assert run_doclint(root) == []
+
+
+def test_clean_when_module_mentioned_by_path(tmp_path):
+    root = _make_repo(tmp_path, "See `pkg/mod.py` for x.\n")
+    assert run_doclint(root) == []
+
+
+def test_unmentioned_module_is_doc001(tmp_path):
+    root = _make_repo(tmp_path, "Nothing to see here.\n")
+    findings = run_doclint(root)
+    assert [f.rule for f in findings] == ["DOC001"]
+    assert "repro.pkg.mod" in findings[0].message
+    assert findings[0].path == "src/repro/pkg/mod.py"
+
+
+def test_init_and_main_are_exempt(tmp_path):
+    root = _make_repo(tmp_path, "`repro.pkg.mod` exists.\n")
+    (root / "src" / "repro" / "pkg" / "__main__.py").write_text("")
+    assert run_doclint(root) == []
+
+
+def test_broken_relative_link_is_doc002(tmp_path):
+    root = _make_repo(
+        tmp_path,
+        "`repro.pkg.mod`.\nSee [missing](MISSING.md) and [ok](GUIDE.md).\n",
+    )
+    findings = run_doclint(root)
+    assert [f.rule for f in findings] == ["DOC002"]
+    assert findings[0].line == 2
+    assert "MISSING.md" in findings[0].message
+
+
+def test_external_links_and_anchors_are_skipped(tmp_path):
+    root = _make_repo(
+        tmp_path,
+        "`repro.pkg.mod`.\n"
+        "[web](https://example.org/x) [mail](mailto:a@b.c) [top](#heading)\n"
+        "[anchored](GUIDE.md#section)\n",
+    )
+    assert run_doclint(root) == []
+
+
+def test_readme_links_are_checked(tmp_path):
+    root = _make_repo(tmp_path, "`repro.pkg.mod`.\n")
+    (root / "README.md").write_text("[docs](docs/GUIDE.md) [bad](nope.md)\n")
+    findings = run_doclint(root)
+    assert [(f.rule, f.path) for f in findings] == [("DOC002", "README.md")]
+
+
+def test_module_mentions_forms(tmp_path):
+    root = _make_repo(tmp_path, "")
+    dotted, as_path = module_mentions(
+        root / "src" / "repro" / "pkg" / "mod.py", root
+    )
+    assert dotted == "repro.pkg.mod"
+    assert as_path == "pkg/mod.py"
+
+
+def test_missing_docs_dir_is_usage_error(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        run_doclint(tmp_path)
+    assert main([str(tmp_path)]) == 2
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = _make_repo(tmp_path / "clean", "`repro.pkg.mod`.\n")
+    assert main([str(clean)]) == 0
+    assert "no issues found" in capsys.readouterr().out
+    dirty = _make_repo(tmp_path / "dirty", "nothing\n")
+    assert main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "DOC001" in out and "1 issue found" in out
+
+
+def test_real_repo_is_clean():
+    """The contract CI enforces: this repository documents itself."""
+    assert run_doclint(REPO_ROOT) == []

@@ -32,6 +32,7 @@ def _bare_system():
     system.compressor = SimpleNamespace(
         statistics=SimpleNamespace(compression_ratio=1.0)
     )
+    system.config = SimpleNamespace(tracking_backend="array")
     system._vessels_tracked = 3
     system.shards = 2
     system.restart_count = lambda: 0
