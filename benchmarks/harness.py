@@ -588,6 +588,103 @@ def run_chaos_benchmark(
     }
 
 
+def run_pairwise_benchmark(
+    fleet_size: int = FLEET_SIZE,
+    duration: int = DURATION_SECONDS,
+    window: WindowSpec | None = None,
+) -> dict:
+    """Price the pairwise layer: index build, candidate pairs, events/sec.
+
+    Replays the rendezvous fixture embedded in a mixed fleet through the
+    pipeline with ``pairwise=True`` (see docs/SPATIAL.md) and returns the
+    ``pairwise`` section of ``BENCH_pipeline.json``: per-slide grid-index
+    build p50/p95, candidate pairs screened per slide versus the
+    brute-force O(n²) pair count (the O(n·k) evidence), pair facts and
+    pairwise alerts per second of processing time.
+    """
+    from repro.maritime.pairwise.rules import PAIRWISE_CE_NAMES
+
+    window = window or WindowSpec.of_minutes(120, 30)
+    simulator = FleetSimulator(
+        benchmark_world(), seed=2015, duration_seconds=duration
+    )
+    vessels = simulator.build_scenario_rendezvous()
+    vessels += simulator.build_mixed_fleet(max(0, fleet_size - len(vessels)))
+    specs = {vessel.mmsi: vessel.spec for vessel in vessels}
+    stream = simulator.positions(vessels)
+
+    with obs.activate(obs.MetricsRegistry()) as registry:
+        system = SurveillanceSystem(
+            benchmark_world(), specs,
+            SystemConfig(window=window, pairwise=True),
+        )
+        replayer = StreamReplayer(
+            [TimedArrival(p.timestamp, p) for p in stream],
+            window.slide_seconds,
+        )
+        pairwise_alerts = 0
+        slides = 0
+        started = time.perf_counter()
+        for query_time, batch in replayer.batches():
+            report = system.process_slide(batch, query_time)
+            slides += 1
+            pairwise_alerts += sum(
+                1 for alert in report.alerts if alert.kind in PAIRWISE_CE_NAMES
+            )
+        final = system.finalize()
+        elapsed = time.perf_counter() - started
+        pairwise_alerts += sum(
+            1 for alert in final.alerts if alert.kind in PAIRWISE_CE_NAMES
+        )
+        snapshot = registry.snapshot()
+
+    # The index-build span nests under the slide span during processing
+    # and sits at top level during finalize; report the dominant path.
+    builds = [
+        stats
+        for path, stats in sorted(snapshot["spans"].items())
+        if path.endswith("pairwise.index_build")
+    ]
+    index_build = max(builds, key=lambda stats: stats["count"], default=None)
+    candidate_pairs = snapshot["counters"].get("pairwise.candidate_pairs", 0.0)
+    # What a per-slide all-pairs scan would have screened instead, once
+    # every vessel is tracked — the O(n·k) vs O(n²) comparison.
+    brute_force = slides * fleet_size * (fleet_size - 1) // 2
+    return {
+        "fleet_size": fleet_size,
+        "duration_seconds": duration,
+        "positions": len(stream),
+        "slides": slides,
+        "processing_seconds": elapsed,
+        "index_build_ms": {
+            "count": index_build["count"] if index_build else 0,
+            "p50": (index_build["p50"] * 1000.0) if index_build else 0.0,
+            "p95": (index_build["p95"] * 1000.0) if index_build else 0.0,
+            "mean": (index_build["mean"] * 1000.0) if index_build else 0.0,
+        },
+        "candidate_pairs": int(candidate_pairs),
+        "candidate_pairs_per_slide": (
+            candidate_pairs / slides if slides else 0.0
+        ),
+        "brute_force_pairs": brute_force,
+        "candidate_fraction_of_brute_force": (
+            candidate_pairs / brute_force if brute_force else 0.0
+        ),
+        "close_pairs": int(
+            snapshot["counters"].get("pairwise.close_pairs", 0.0)
+        ),
+        "pair_facts": int(snapshot["counters"].get("pairwise.facts", 0.0)),
+        "pair_facts_per_sec": (
+            snapshot["counters"].get("pairwise.facts", 0.0) / elapsed
+            if elapsed > 0 else 0.0
+        ),
+        "pairwise_alerts": pairwise_alerts,
+        "pairwise_events_per_sec": (
+            pairwise_alerts / elapsed if elapsed > 0 else 0.0
+        ),
+    }
+
+
 def run_lint_benchmark(paths: tuple[str, ...] = ("src", "tests")) -> dict:
     """Time the project's own static analyzer over the tree.
 
@@ -659,6 +756,11 @@ if __name__ == "__main__":
                              "steady-state overhead (service bench with vs "
                              "without the ingest journal, fsync=batch) and "
                              "journal recovery time")
+    parser.add_argument("--pairwise", action="store_true",
+                        help="also replay the rendezvous fixture in a mixed "
+                             "fleet with pairwise CE recognition on and "
+                             "record grid-index build time, candidate pairs "
+                             "per slide and pairwise events/sec")
     parser.add_argument("--lint", action="store_true",
                         help="also time `python -m repro.analysis` over "
                              "src and tests and record analyzer "
@@ -686,6 +788,10 @@ if __name__ == "__main__":
         )
     if cli.chaos:
         bench_report["chaos"] = run_chaos_benchmark(
+            fleet_size=cli.fleet_size, duration=duration_seconds
+        )
+    if cli.pairwise:
+        bench_report["pairwise"] = run_pairwise_benchmark(
             fleet_size=cli.fleet_size, duration=duration_seconds
         )
     if cli.lint:
@@ -738,6 +844,17 @@ if __name__ == "__main__":
             f"recovery={recovery['replay_seconds']:.2f}s for "
             f"{recovery['journaled_records']} records "
             f"({recovery['replay_records_per_sec']:.0f} rec/s)"
+        )
+    if cli.pairwise:
+        pairwise = bench_report["pairwise"]
+        build = pairwise["index_build_ms"]
+        print(
+            f"  pairwise: index build p50={build['p50']:.3f}ms "
+            f"p95={build['p95']:.3f}ms  "
+            f"candidates/slide={pairwise['candidate_pairs_per_slide']:.0f} "
+            f"({pairwise['candidate_fraction_of_brute_force']:.1%} of "
+            f"brute force)  "
+            f"events/s={pairwise['pairwise_events_per_sec']:.2f}"
         )
     if cli.lint:
         lint = bench_report["static_analysis"]

@@ -4,7 +4,8 @@ Usage::
 
     python -m repro [--vessels N] [--hours H] [--seed S]
                     [--window-hours W] [--slide-minutes B]
-                    [--spatial-facts] [--shards N] [--checkpoint-dir PATH]
+                    [--spatial-facts] [--pairwise]
+                    [--shards N] [--checkpoint-dir PATH]
                     [--tracking-backend scalar|array|numpy]
                     [--kml PATH] [--metrics-json PATH]
     python -m repro --serve [--port P] [--host H]
@@ -80,6 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="window slide beta (default: 30)")
     parser.add_argument("--spatial-facts", action="store_true",
                         help="use the precomputed-spatial-facts CE mode")
+    parser.add_argument("--pairwise", action="store_true",
+                        help="recognize pairwise CEs (encounter, rendezvous, "
+                             "cpaRisk, darkShip); see docs/SPATIAL.md")
     parser.add_argument("--shards", type=int, default=1,
                         help="worker shards; >1 selects the process-parallel "
                              "runtime (default: 1, single-process)")
@@ -150,6 +154,7 @@ def _build_pipeline_inputs(args: argparse.Namespace):
         window=WindowSpec.of_minutes(args.window_hours * 60, args.slide_minutes),
         tracking_backend=args.tracking_backend,
         spatial_facts=args.spatial_facts,
+        pairwise=args.pairwise,
     )
     return world, simulator, fleet, specs, config
 
@@ -273,6 +278,7 @@ def _run(args: argparse.Namespace) -> int:
                 "window_hours": args.window_hours,
                 "slide_minutes": args.slide_minutes,
                 "spatial_facts": args.spatial_facts,
+                "pairwise": args.pairwise,
                 "shards": args.shards,
             },
         )

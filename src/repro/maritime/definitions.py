@@ -40,12 +40,26 @@ from repro.rtec.rules import (
     initiated,
     terminated,
 )
+from repro.maritime.pairwise.rules import (
+    PAIRWISE_OUTPUT_EVENTS,
+    PAIRWISE_OUTPUT_FLUENTS,
+)
 from repro.simulator.vessel import VesselSpec
 from repro.simulator.world import Area, AreaKind, WorldModel
 
 #: CE fluents and events reported to the authorities.
 OUTPUT_FLUENTS = ["suspicious", "illegalFishing"]
 OUTPUT_EVENTS = ["illegalShipping", "dangerousShipping"]
+
+#: The full CE vocabulary, vessel-vs-area plus the pairwise layer
+#: (:mod:`repro.maritime.pairwise`); the HTTP alert filter validates
+#: ``?type=`` names against this.
+ALL_CE_NAMES = tuple(
+    OUTPUT_FLUENTS
+    + OUTPUT_EVENTS
+    + PAIRWISE_OUTPUT_FLUENTS
+    + PAIRWISE_OUTPUT_EVENTS
+)
 
 
 def build_maritime_rules(

@@ -1,0 +1,27 @@
+"""Pairwise (vessel-vs-vessel) complex event recognition.
+
+The :class:`~repro.maritime.pairwise.monitor.PairwiseMonitor` turns the
+merged movement-event stream into amalgamated *pair facts* — proximity,
+joint low speed, offshore standing, CPA risk, dark gaps — using the
+per-slide grid index from :mod:`repro.spatial`; the RTEC rules in
+:mod:`repro.maritime.pairwise.rules` derive ``encounter``/``rendezvous``
+intervals and ``cpaRisk``/``darkShip`` events from those facts alone.
+See docs/SPATIAL.md.
+"""
+
+from repro.maritime.pairwise.config import PairwiseConfig
+from repro.maritime.pairwise.monitor import PairFact, PairwiseMonitor
+from repro.maritime.pairwise.rules import (
+    PAIRWISE_OUTPUT_EVENTS,
+    PAIRWISE_OUTPUT_FLUENTS,
+    build_pairwise_rules,
+)
+
+__all__ = [
+    "PAIRWISE_OUTPUT_EVENTS",
+    "PAIRWISE_OUTPUT_FLUENTS",
+    "PairFact",
+    "PairwiseConfig",
+    "PairwiseMonitor",
+    "build_pairwise_rules",
+]

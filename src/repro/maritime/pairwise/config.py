@@ -1,0 +1,40 @@
+"""Thresholds of the pairwise recognition layer."""
+
+from dataclasses import dataclass
+
+from repro.geo.units import knots_to_mps
+
+
+@dataclass(frozen=True)
+class PairwiseConfig:
+    """Calibrated knobs for pair facts and pairwise complex events."""
+
+    #: Two vessels closer than this are a ``proximity`` pair (meters).
+    proximity_radius_meters: float = 3000.0
+    #: Both members at or under this speed makes the pair "slow" (knots).
+    low_speed_knots: float = 5.0
+    #: Minimum distance from every port for "offshore" standing (meters).
+    offshore_distance_meters: float = 10_000.0
+    #: Drop a vessel's last-seen track after this much silence (seconds);
+    #: episodes involving the vessel end with a ``pair_far`` fact.
+    stale_seconds: int = 3600
+    #: CPA risk fires only when the closest approach is at most this far
+    #: ahead (seconds) ...
+    cpa_horizon_seconds: int = 1800
+    #: ... and at most this close (meters) ...
+    cpa_distance_meters: float = 500.0
+    #: ... with both vessels actually underway (meters/second).
+    cpa_min_speed_mps: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.proximity_radius_meters <= 0:
+            raise ValueError("proximity_radius_meters must be positive")
+        if self.stale_seconds <= 0:
+            raise ValueError("stale_seconds must be positive")
+        if self.cpa_horizon_seconds <= 0:
+            raise ValueError("cpa_horizon_seconds must be positive")
+
+    @property
+    def low_speed_mps(self) -> float:
+        """Joint low-speed threshold in meters per second."""
+        return knots_to_mps(self.low_speed_knots)

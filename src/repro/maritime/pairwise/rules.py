@@ -1,0 +1,123 @@
+"""RTEC rules deriving pairwise complex events from pair facts.
+
+The :class:`~repro.maritime.pairwise.monitor.PairwiseMonitor` amalgamates
+all pairwise geometry into *pair facts* — input events over ``(V1, V2)``
+pairs (``V1 < V2`` by MMSI) or single vessels — so the rules here are
+pure event algebra with no spatial joins.  That amalgamation is what
+makes longitude-band routing trivially correct: a fact stream for one
+pair is self-contained, and every fact of an episode is routed to the
+same band (see docs/SPATIAL.md).
+
+Vocabulary of input facts::
+
+    pair_close(V1, V2)     the pair came (or stayed) within range
+    pair_far(V1, V2)       the pair separated / a member went stale
+    pair_slow(V1, V2)      both members at low speed while in range
+    pair_speedup(V1, V2)   a slow pair stopped being slow
+    pair_offshore(V1, V2)  both members far from every port while in range
+    pair_cpa_risk(V1, V2)  projected CPA inside the risk envelope
+    dark_gap(V)            an AIS gap that began *and* ended offshore
+
+Derived complex events:
+
+* ``encounter(V1, V2)`` — fluent: the vessels are within proximity range.
+* ``rendezvous(V1, V2)`` — fluent: within range *and* both at low speed
+  *and* offshore — the ship-to-ship transfer pattern; ends when the pair
+  separates or speeds back up.
+* ``cpaRisk(V1, V2)`` — instantaneous event: dangerous closest point of
+  approach ahead.
+* ``darkShip(V)`` — instantaneous event: a communication gap upgraded to
+  suspected intentional AIS disabling because it started and ended away
+  from shore facilities.
+"""
+
+from repro.rtec.rules import (
+    EventPattern,
+    HappensAt,
+    Rule,
+    Var,
+    happens_head,
+    initiated,
+    terminated,
+)
+
+# -- input fact functors (emitted by the monitor) ----------------------
+
+PAIR_CLOSE = "pair_close"
+PAIR_FAR = "pair_far"
+PAIR_SLOW = "pair_slow"
+PAIR_SPEEDUP = "pair_speedup"
+PAIR_OFFSHORE = "pair_offshore"
+PAIR_CPA_RISK = "pair_cpa_risk"
+DARK_GAP = "dark_gap"
+
+#: Every input fact functor, for working-memory bookkeeping.
+PAIR_FACT_FUNCTORS = (
+    PAIR_CLOSE,
+    PAIR_FAR,
+    PAIR_SLOW,
+    PAIR_SPEEDUP,
+    PAIR_OFFSHORE,
+    PAIR_CPA_RISK,
+    DARK_GAP,
+)
+
+# -- derived complex events --------------------------------------------
+
+#: Pairwise durative CEs reported as (V1, V2) intervals.
+PAIRWISE_OUTPUT_FLUENTS = ["encounter", "rendezvous"]
+#: Pairwise instantaneous CEs.
+PAIRWISE_OUTPUT_EVENTS = ["cpaRisk", "darkShip"]
+
+#: CE names whose alert args are vessel pairs (not vessel+area).
+PAIRWISE_PAIR_CES = frozenset(["encounter", "rendezvous", "cpaRisk"])
+#: CE names whose alert args are a single vessel.
+PAIRWISE_VESSEL_CES = frozenset(["darkShip"])
+#: All pairwise CE names, for alert translation and feed filtering.
+PAIRWISE_CE_NAMES = PAIRWISE_PAIR_CES | PAIRWISE_VESSEL_CES
+
+
+def build_pairwise_rules() -> list[Rule]:
+    """The pairwise rule set; thresholds live in the monitor, not here."""
+    vessel1 = Var("V1")
+    vessel2 = Var("V2")
+    vessel = Var("V")
+    pair = (vessel1, vessel2)
+    return [
+        # Encounter: within range until separation.
+        initiated(
+            "encounter", pair, True,
+            [HappensAt(EventPattern(PAIR_CLOSE, pair))],
+        ),
+        terminated(
+            "encounter", pair, True,
+            [HappensAt(EventPattern(PAIR_FAR, pair))],
+        ),
+        # Rendezvous: in range, both slow, offshore — all at the same
+        # timepoint (the monitor co-timestamps the facts of a slide).
+        initiated(
+            "rendezvous", pair, True,
+            [
+                HappensAt(EventPattern(PAIR_SLOW, pair)),
+                HappensAt(EventPattern(PAIR_CLOSE, pair)),
+                HappensAt(EventPattern(PAIR_OFFSHORE, pair)),
+            ],
+        ),
+        terminated(
+            "rendezvous", pair, True,
+            [HappensAt(EventPattern(PAIR_FAR, pair))],
+        ),
+        terminated(
+            "rendezvous", pair, True,
+            [HappensAt(EventPattern(PAIR_SPEEDUP, pair))],
+        ),
+        # Instantaneous risk / dark-ship events.
+        happens_head(
+            "cpaRisk", pair,
+            [HappensAt(EventPattern(PAIR_CPA_RISK, pair))],
+        ),
+        happens_head(
+            "darkShip", (vessel,),
+            [HappensAt(EventPattern(DARK_GAP, (vessel,)))],
+        ),
+    ]

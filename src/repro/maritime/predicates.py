@@ -16,6 +16,7 @@ from repro.rtec.engine import ComputedFluent, EngineView
 from repro.rtec.intervals import Interval, OPEN
 from repro.simulator.vessel import VesselSpec
 from repro.simulator.world import Area
+from repro.spatial.grid import StaticBoxIndex
 
 
 def make_close_predicate(
@@ -27,13 +28,23 @@ def make_close_predicate(
     ``(lon, lat)`` is below the threshold — the enumeration doubles as the
     'declarations' restriction of RTEC: only the given areas are ever
     considered for the CE that uses the predicate.
+
+    A :class:`~repro.spatial.grid.StaticBoxIndex` over the threshold-
+    expanded area boxes prefilters candidates; it is exactly conservative
+    (``is_close`` starts with the same expanded-box containment test) and
+    preserves the area-list enumeration order, so results are identical
+    to the linear scan.
     """
+    index = StaticBoxIndex(
+        (position, area.polygon.bbox.expanded(threshold_meters))
+        for position, area in enumerate(areas)
+    )
 
     def close(lon: float, lat: float) -> list[tuple[str]]:
         return [
-            (area.name,)
-            for area in areas
-            if area.polygon.is_close(lon, lat, threshold_meters)
+            (areas[position].name,)
+            for position in index.candidates(lon, lat)
+            if areas[position].polygon.is_close(lon, lat, threshold_meters)
         ]
 
     close.__name__ = "close"

@@ -41,6 +41,7 @@ from repro.rtec.rules import (
 from repro.rtec.working_memory import WorkingMemory
 from repro.simulator.vessel import VesselSpec
 from repro.simulator.world import Area, AreaKind, WorldModel
+from repro.spatial.grid import StaticBoxIndex
 from repro.tracking.types import MovementEvent
 
 #: Fact functors per area category.
@@ -50,27 +51,58 @@ FACT_FORBIDDEN = "close_to_forbidden"
 FACT_SHALLOW = "close_to_shallow"
 
 
+def _category_indexes(
+    world: WorldModel,
+    threshold_meters: float,
+    watch_areas: list[Area] | None,
+) -> list[tuple[str, list[Area], StaticBoxIndex]]:
+    """Per-category area lists with their point-in-area prefilters.
+
+    The :class:`~repro.spatial.grid.StaticBoxIndex` over the threshold-
+    expanded boxes is exactly conservative for ``is_close`` (which opens
+    with the same expanded-box test) and preserves area-list order, so
+    the produced facts are identical to a linear scan's.
+    """
+    watch = watch_areas if watch_areas is not None else world.areas
+    categories = [
+        (FACT_WATCH, list(watch)),
+        (FACT_PROTECTED, world.areas_of_kind(AreaKind.PROTECTED)),
+        (FACT_FORBIDDEN, world.areas_of_kind(AreaKind.FORBIDDEN_FISHING)),
+        (FACT_SHALLOW, world.areas_of_kind(AreaKind.SHALLOW)),
+    ]
+    return [
+        (
+            functor,
+            areas,
+            StaticBoxIndex(
+                (position, area.polygon.bbox.expanded(threshold_meters))
+                for position, area in enumerate(areas)
+            ),
+        )
+        for functor, areas in categories
+    ]
+
+
 def spatial_facts_for(
     event: MovementEvent,
     world: WorldModel,
     threshold_meters: float,
     watch_areas: list[Area] | None = None,
+    indexes: list[tuple[str, list[Area], StaticBoxIndex]] | None = None,
 ) -> list[tuple[str, tuple, int]]:
     """The ``close_to`` facts accompanying one movement event.
 
     Returns ``(functor, (mmsi, area_name), timestamp)`` triples, one per
-    (category, nearby-area) pair.
+    (category, nearby-area) pair.  Pass ``indexes`` (from
+    :func:`_category_indexes`) to amortize index construction over a
+    batch of events.
     """
-    watch = watch_areas if watch_areas is not None else world.areas
-    categories = [
-        (FACT_WATCH, watch),
-        (FACT_PROTECTED, world.areas_of_kind(AreaKind.PROTECTED)),
-        (FACT_FORBIDDEN, world.areas_of_kind(AreaKind.FORBIDDEN_FISHING)),
-        (FACT_SHALLOW, world.areas_of_kind(AreaKind.SHALLOW)),
-    ]
+    if indexes is None:
+        indexes = _category_indexes(world, threshold_meters, watch_areas)
     facts = []
-    for functor, areas in categories:
-        for area in areas:
+    for functor, areas, index in indexes:
+        for position in index.candidates(event.lon, event.lat):
+            area = areas[position]
             if area.polygon.is_close(event.lon, event.lat, threshold_meters):
                 facts.append((functor, (event.mmsi, area.name), event.timestamp))
     return facts
@@ -85,12 +117,13 @@ def assert_spatial_facts(
     watch_areas: list[Area] | None = None,
 ) -> int:
     """Assert the facts for a slide's MEs; returns the fact count."""
+    indexes = _category_indexes(world, threshold_meters, watch_areas)
     count = 0
     for event in events:
         if event.event_type not in EVENT_FUNCTORS:
             continue
         for functor, args, timestamp in spatial_facts_for(
-            event, world, threshold_meters, watch_areas
+            event, world, threshold_meters, watch_areas, indexes=indexes
         ):
             memory.assert_event(functor, args, timestamp, arrival=arrival_time)
             count += 1

@@ -3,6 +3,7 @@
 from dataclasses import dataclass, field
 
 from repro.maritime.config import MaritimeConfig
+from repro.maritime.pairwise.config import PairwiseConfig
 from repro.tracking.config import TrackingParameters
 from repro.tracking.window import WindowSpec
 
@@ -29,6 +30,10 @@ class SystemConfig:
     recognition_window_seconds: int | None = None
     #: Run CE recognition with the spatial-facts stream of Figure 11(b).
     spatial_facts: bool = False
+    #: Recognize pairwise (vessel-vs-vessel) complex events — encounter,
+    #: rendezvous, CPA risk, dark ship.  See :mod:`repro.maritime.pairwise`.
+    pairwise: bool = False
+    pairwise_config: PairwiseConfig = field(default_factory=PairwiseConfig)
     #: Disable the CE recognition phase entirely (the Figure 10 experiment
     #: measures only the trajectory-maintenance phases).
     enable_recognition: bool = True

@@ -24,6 +24,7 @@ counters, which is what ``--metrics-json`` and the bench harness report.
 
 from repro import obs
 from repro.ais.stream import PositionalTuple
+from repro.maritime.pairwise.monitor import PairwiseMonitor
 from repro.maritime.recognizer import Alert, MaritimeRecognizer
 from repro.mod.database import MovingObjectDatabase
 from repro.pipeline.config import SystemConfig
@@ -57,6 +58,13 @@ class SurveillanceSystem:
             window_seconds=self.config.effective_recognition_window,
             config=self.config.maritime,
             spatial_facts=self.config.spatial_facts,
+            pairwise=self.config.pairwise,
+            pairwise_config=self.config.pairwise_config,
+        )
+        self.monitor = (
+            PairwiseMonitor(world, self.config.pairwise_config)
+            if self.config.pairwise
+            else None
         )
         self.database = MovingObjectDatabase(
             world.ports, path=self.config.database_path
@@ -98,6 +106,11 @@ class SurveillanceSystem:
             alerts: tuple = ()
             if self.config.enable_recognition:
                 with obs.timed_span("recognition") as phase:
+                    if self.monitor is not None:
+                        facts = self.monitor.observe(events, query_time)
+                        self.recognizer.ingest_facts(
+                            facts, arrival_time=query_time
+                        )
                     self.recognizer.ingest(events, arrival_time=query_time)
                     result = self.recognizer.step(query_time)
                 slide_timings["recognition"] = phase.seconds
@@ -178,6 +191,9 @@ class SurveillanceSystem:
         recognized = 0
         alerts: tuple = ()
         if self.config.enable_recognition:
+            if self.monitor is not None:
+                facts = self.monitor.observe(events, query_time)
+                self.recognizer.ingest_facts(facts, arrival_time=query_time)
             self.recognizer.ingest(events, arrival_time=query_time)
             result = self.recognizer.step(query_time)
             recognized = result.complex_event_count()

@@ -13,16 +13,17 @@ the worker replies:
 * **critical points** (fresh, expired, synopses) merge under the
   ``(mmsi, timestamp)`` order the compressor and synopsis APIs already
   guarantee per shard;
-* **alerts** merge under the ``(since, kind, area)`` order of
-  :meth:`repro.maritime.recognizer.MaritimeRecognizer.alerts`.  The sort
-  is stable and any alerts tied on that key belong to one area — hence to
-  exactly one band, whose internal derivation order is preserved — so the
-  merged list is byte-identical to the single-engine one.
+* **alerts** merge under the canonical report order of
+  :func:`repro.maritime.recognizer.alert_sort_key`.  The sort is stable
+  and any alerts tied on that key belong to one area (or, for pairwise
+  CEs, one episode-anchored vessel pair) — hence to exactly one band,
+  whose internal derivation order is preserved — so the merged list is
+  byte-identical to the single-engine one.
 """
 
 import heapq
 
-from repro.maritime.recognizer import Alert
+from repro.maritime.recognizer import Alert, alert_sort_key
 from repro.tracking.types import CriticalPoint, MovementEvent
 
 
@@ -67,5 +68,5 @@ def merge_finalize_events(
 def merge_alerts(alerts_per_band: list[list[Alert]]) -> list[Alert]:
     """Union the bands' alerts in the single-engine report order."""
     merged = [alert for alerts in alerts_per_band for alert in alerts]
-    merged.sort(key=lambda alert: (alert.since, alert.kind, alert.area))
+    merged.sort(key=alert_sort_key)
     return merged

@@ -28,6 +28,7 @@ meaningful.
 """
 
 from repro.ais.stream import PositionalTuple
+from repro.maritime.pairwise.monitor import PairFact
 from repro.maritime.partition import partition_world
 from repro.simulator.world import WorldModel
 from repro.tracking.types import MovementEvent
@@ -116,19 +117,64 @@ class ShardRouter:
         return [self._raw_band(lon)]
 
     def route_events(
-        self, events: list[MovementEvent]
+        self,
+        events: list[MovementEvent],
+        extra_bands_by_mmsi: dict[int, tuple[int, ...]] | None = None,
     ) -> list[list[MovementEvent]]:
         """Fan movement events out to the band workers that may need them.
 
         An event near a band boundary is forwarded to every band whose
         envelope covers it (duplicates are harmless: a band only derives
         CEs for its own areas, and bands hold disjoint area sets).
+
+        ``extra_bands_by_mmsi`` adds pairwise co-routing: a vessel that is
+        a member of a pair fact is additionally forwarded to the band
+        owning that fact's episode anchor (see :meth:`pair_fact_bands`),
+        so both members' critical points land in the same recognition
+        partition.  The extra copies cannot perturb area-CE output — an
+        event outside a band's envelope cannot satisfy any of that band's
+        ``close`` predicates by construction.
         """
         routed: list[list[MovementEvent]] = [[] for _ in range(self.shards)]
         for event in events:
-            for band in self.bands_for_longitude(event.lon):
+            bands = self.bands_for_longitude(event.lon)
+            if extra_bands_by_mmsi:
+                for band in extra_bands_by_mmsi.get(event.mmsi, ()):
+                    if band not in bands:
+                        bands = [*bands, band]
+            for band in bands:
                 routed[band].append(event)
         return routed
+
+    # -- pairwise axis ----------------------------------------------------
+
+    def route_pair_facts(
+        self, facts: list[PairFact]
+    ) -> list[list[PairFact]]:
+        """Send each pair fact to exactly one band: its episode anchor's.
+
+        The anchor longitude is fixed when an episode opens and repeated
+        on every fact of the episode, so initiation and termination of a
+        pair's fluents always reach the same band engine — the invariant
+        that keeps sharded pairwise output byte-identical.
+        """
+        routed: list[list[PairFact]] = [[] for _ in range(self.shards)]
+        for fact in facts:
+            routed[self._raw_band(fact.anchor_lon)].append(fact)
+        return routed
+
+    def pair_fact_bands(
+        self, facts: list[PairFact]
+    ) -> dict[int, tuple[int, ...]]:
+        """Owner bands per member vessel of this slide's pair facts."""
+        bands: dict[int, set[int]] = {}
+        for fact in facts:
+            band = self._raw_band(fact.anchor_lon)
+            for mmsi in fact.args:
+                bands.setdefault(mmsi, set()).add(band)
+        return {
+            mmsi: tuple(sorted(bands[mmsi])) for mmsi in sorted(bands)
+        }
 
     def _raw_band(self, lon: float) -> int:
         for index, band in enumerate(self.bands[:-1]):

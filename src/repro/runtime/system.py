@@ -33,6 +33,7 @@ import tempfile
 
 from repro import obs
 from repro.ais.stream import PositionalTuple
+from repro.maritime.pairwise.monitor import PairwiseMonitor
 from repro.maritime.partition import PartitionStepTiming
 from repro.maritime.recognizer import Alert
 from repro.mod.database import MovingObjectDatabase
@@ -123,6 +124,15 @@ class ParallelSurveillanceSystem:
             start_method=start_method,
         )
         self.supervisor.start()
+        # The pairwise monitor runs once, in the parent, over the merged
+        # (single-process-identical) event stream: the produced pair
+        # facts are the same at any shard count, and the router sends
+        # each one to its episode's anchor band (see docs/SPATIAL.md).
+        self.monitor = (
+            PairwiseMonitor(world, self.config.pairwise_config)
+            if self.config.pairwise
+            else None
+        )
         self.last_partition_timing: PartitionStepTiming | None = None
         self._last_query_time: int | None = None
         self._last_alerts: list[Alert] = []
@@ -171,13 +181,9 @@ class ParallelSurveillanceSystem:
             alerts: tuple = ()
             if self.config.enable_recognition:
                 with obs.timed_span("recognition") as phase:
-                    routed_events = self.router.route_events(events)
+                    payloads = self._recognition_payloads(events, query_time)
                     replies = self.supervisor.request_all(
-                        "recognize",
-                        [
-                            (query_time, routed_events[i])
-                            for i in range(self.shards)
-                        ],
+                        "recognize", payloads
                     )
                 slide_timings["recognition"] = phase.seconds
                 recognized = sum(r["recognized"] for r in replies)
@@ -231,11 +237,8 @@ class ParallelSurveillanceSystem:
         recognized = 0
         alerts: tuple = ()
         if self.config.enable_recognition:
-            routed_events = self.router.route_events(events)
-            replies = self.supervisor.request_all(
-                "recognize",
-                [(query_time, routed_events[i]) for i in range(self.shards)],
-            )
+            payloads = self._recognition_payloads(events, query_time)
+            replies = self.supervisor.request_all("recognize", payloads)
             recognized = sum(r["recognized"] for r in replies)
             merged = merge_alerts([r["alerts"] for r in replies])
             self._last_alerts = merged
@@ -252,6 +255,29 @@ class ParallelSurveillanceSystem:
             timings=slide_timings,
             fresh_points=tuple(fresh),
         )
+
+    def _recognition_payloads(self, events, query_time: int) -> list[tuple]:
+        """Per-shard ``recognize`` arguments, with pairwise routing.
+
+        In pairwise mode the monitor's facts are routed to their anchor
+        bands and every pair member's movement events are co-routed to
+        those bands, so each band engine sees everything its pair rules
+        can join on.
+        """
+        if self.monitor is None:
+            routed_events = self.router.route_events(events)
+            return [
+                (query_time, routed_events[i]) for i in range(self.shards)
+            ]
+        facts = self.monitor.observe(events, query_time)
+        routed_facts = self.router.route_pair_facts(facts)
+        routed_events = self.router.route_events(
+            events, extra_bands_by_mmsi=self.router.pair_fact_bands(facts)
+        )
+        return [
+            (query_time, routed_events[i], routed_facts[i])
+            for i in range(self.shards)
+        ]
 
     def _record_slide_metrics(
         self,

@@ -70,6 +70,8 @@ class ShardWorker:
             window_seconds=config.effective_recognition_window,
             config=config.maritime,
             spatial_facts=config.spatial_facts,
+            pairwise=config.pairwise,
+            pairwise_config=config.pairwise_config,
         )
         #: Sequence number of the last applied command.
         self.cursor = -1
@@ -106,9 +108,14 @@ class ShardWorker:
             "seconds": time.perf_counter() - started,
         }
 
-    def recognize(self, query_time: int, events: list) -> dict:
-        """Ingest one slide's routed MEs and step the band's recognition."""
+    def recognize(
+        self, query_time: int, events: list, facts: list = ()
+    ) -> dict:
+        """Ingest one slide's routed MEs (and, in pairwise mode, this
+        band's routed pair facts) and step the band's recognition."""
         started = time.perf_counter()
+        if facts:
+            self.recognizer.ingest_facts(facts, arrival_time=query_time)
         ingested = self.recognizer.ingest(events, arrival_time=query_time)
         result = self.recognizer.step(query_time)
         return {
@@ -221,7 +228,11 @@ def worker_main(
             payload = worker.track(command[2], command[3])
             worker.tracks_applied += 1
         elif kind == "recognize":
-            payload = worker.recognize(command[2], command[3])
+            payload = worker.recognize(
+                command[2],
+                command[3],
+                command[4] if len(command) > 4 else (),
+            )
         elif kind == "finalize_track":
             payload = worker.finalize_track(command[2])
         elif kind == "synopsis":

@@ -8,7 +8,11 @@ and operational queries — deliberately not a web framework:
   exposition format (:func:`repro.obs.render_prometheus`);
 * ``GET /vessels/{mmsi}`` — last-known velocity-vector snapshot;
 * ``GET /vessels`` — all tracked MMSIs;
-* ``GET /alerts?since=N`` — recent complex events from the alert ring;
+* ``GET /alerts?since=N&type=kind,kind`` — recent complex events from
+  the alert ring, optionally filtered to a comma-separated set of CE
+  kinds (e.g. ``type=rendezvous,darkShip`` for just the pairwise feed);
+  filtered-out entries are counted on the registry, never silently
+  dropped;
 * ``GET /deadletter?limit=N`` — recently quarantined malformed
   sentences with their classified rejection reasons.
 
@@ -21,6 +25,7 @@ import json
 from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro import obs
+from repro.maritime.definitions import ALL_CE_NAMES
 from repro.obs.registry import render_prometheus
 
 
@@ -134,10 +139,34 @@ class HttpApi:
             since = int(query.get("since", ["0"])[0])
         except ValueError:
             return 400, {"error": "since must be an integer"}, "application/json"
+        raw_types = query.get("type", [None])[0]
+        kinds: set[str] | None = None
+        if raw_types is not None:
+            kinds = {
+                part.strip() for part in raw_types.split(",") if part.strip()
+            }
+            unknown = sorted(kinds - set(ALL_CE_NAMES))
+            if not kinds or unknown:
+                return (
+                    400,
+                    {
+                        "error": "type must name known CE kinds",
+                        "unknown": unknown,
+                        "known": sorted(ALL_CE_NAMES),
+                    },
+                    "application/json",
+                )
         ring = self.supervisor.alert_ring
+        entries = ring.since(since)
+        if kinds is not None:
+            kept = [entry for entry in entries if entry["kind"] in kinds]
+            # The filter is an explicit drop: account for it so feed
+            # consumers can audit what their subscription excluded.
+            obs.count("service.http.alerts_filtered", len(entries) - len(kept))
+            entries = kept
         return (
             200,
-            {"alerts": ring.since(since), "last_seq": ring.last_seq},
+            {"alerts": entries, "last_seq": ring.last_seq},
             "application/json",
         )
 

@@ -58,6 +58,7 @@ def alert_to_dict(alert: Alert) -> dict:
         "since": alert.since,
         "until": alert.until,
         "mmsi": alert.mmsi,
+        "mmsi2": alert.mmsi2,
     }
 
 

@@ -21,6 +21,7 @@ from repro.simulator.vessel import (
     make_ferry,
     make_fishing,
     make_loiterer,
+    make_rendezvous_pair,
     make_shallow_runner,
 )
 from repro.simulator.world import WorldModel, build_aegean_world
@@ -190,6 +191,28 @@ class FleetSimulator:
             )
             vessels.append(self._sample(behaviour, vessel_rng))
         return vessels
+
+    def build_scenario_rendezvous(
+        self, silence_second: bool = True
+    ) -> list[SimulatedVessel]:
+        """Two vessels meeting offshore: the pairwise ground truth.
+
+        Produces ``encounter`` and ``rendezvous`` intervals for the pair
+        and (with ``silence_second``) a ``darkShip`` event for the second
+        vessel — see :mod:`repro.maritime.pairwise`.
+        """
+        rng = random.Random(self.seed)
+        pair_rng = random.Random(rng.randrange(2**63))
+        first, second = make_rendezvous_pair(
+            self._allocate_mmsi(), self._allocate_mmsi(),
+            self.world, pair_rng,
+            self.start_time, self.duration_seconds,
+            silence_second=silence_second,
+        )
+        return [
+            self._sample(first, random.Random(rng.randrange(2**63))),
+            self._sample(second, random.Random(rng.randrange(2**63))),
+        ]
 
     # ------------------------------------------------------------------
     # stream assembly

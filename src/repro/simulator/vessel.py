@@ -228,6 +228,106 @@ def make_loiterer(
     return Behaviour(spec, builder.build())
 
 
+def make_rendezvous_pair(
+    mmsi1: int,
+    mmsi2: int,
+    world: WorldModel,
+    rng: random.Random,
+    start_time: int,
+    duration: int,
+    meeting: tuple[float, float] | None = None,
+    silence_second: bool = True,
+) -> tuple[Behaviour, Behaviour]:
+    """Two vessels converging offshore, loitering within range, separating.
+
+    The ground-truth fixture for the pairwise CEs: both vessels arrive at
+    an offshore meeting point from opposite bearings, loiter side by side
+    at trawling speed (slow enough for ``rendezvous``, active enough to
+    keep movement events flowing), then part ways at cruise speed.  With
+    ``silence_second`` the second vessel additionally goes dark mid-stay —
+    a communication gap starting and ending offshore, the ``darkShip``
+    pattern.
+    """
+    if meeting is None:
+        meeting = _offshore_meeting_point(world, rng)
+    arrive_by = start_time + max(1800, duration // 4)
+    stay_seconds = max(3600, duration // 3)
+    behaviours = []
+    base_heading = rng.uniform(0.0, 360.0)
+    for index, mmsi in enumerate((mmsi1, mmsi2)):
+        vessel_type = VesselType.CARGO if index == 0 else VesselType.TANKER
+        spec = VesselSpec(mmsi, vessel_type, rng.uniform(5.0, 9.0), False)
+        # Opposite-ish approach bearings so the pair genuinely converges.
+        heading = (base_heading + index * rng.uniform(140.0, 220.0)) % 360.0
+        start_lon, start_lat = destination_point(
+            meeting[0], meeting[1], heading, rng.uniform(15_000.0, 25_000.0)
+        )
+        builder = PlanBuilder(start_time, start_lon, start_lat)
+        speed = rng.uniform(10.0, 14.0)
+        travel_start = max(
+            start_time,
+            arrive_by - _travel_seconds(start_lon, start_lat, meeting, speed),
+        )
+        if travel_start > start_time:
+            builder.hold(travel_start - start_time)
+        # Side-by-side offsets, well within the proximity radius.
+        offset_lon, offset_lat = destination_point(
+            meeting[0], meeting[1],
+            rng.uniform(0.0, 360.0), rng.uniform(80.0, 250.0),
+        )
+        builder.sail_to(offset_lon, offset_lat, speed)
+        loiter_start = builder.time
+        builder.loiter(
+            duration_seconds=stay_seconds,
+            speed_knots=rng.uniform(2.5, 3.5),
+            wander_radius_meters=400.0,
+            rng=rng,
+        )
+        away_lon, away_lat = destination_point(
+            offset_lon, offset_lat, heading, 25_000.0
+        )
+        builder.sail_to(away_lon, away_lat, speed)
+        if builder.time < start_time + duration:
+            builder.hold(start_time + duration - builder.time)
+        silence_windows: tuple[tuple[int, int], ...] = ()
+        if silence_second and index == 1:
+            # Go dark in the middle of the stay: the gap starts and ends
+            # at the offshore meeting point.
+            silence_start = loiter_start + stay_seconds // 4
+            silence_windows = (
+                (silence_start, silence_start + rng.randint(1200, 1800)),
+            )
+        behaviours.append(
+            Behaviour(spec, builder.build(), silence_windows)
+        )
+    return behaviours[0], behaviours[1]
+
+
+def _offshore_meeting_point(
+    world: WorldModel, rng: random.Random, port_clearance_meters: float = 13_000.0
+) -> tuple[float, float]:
+    """An open-sea point far enough from every port to count as offshore.
+
+    Like :func:`_random_open_sea_point` but with a much larger port
+    clearance, so the pairwise monitor's offshore test (default 10 km
+    from any port) holds at the meeting point.
+    """
+    bbox = world.bbox
+    for _ in range(200):
+        lon = rng.uniform(bbox.min_lon + 0.3, bbox.max_lon - 0.3)
+        lat = rng.uniform(bbox.min_lat + 0.3, bbox.max_lat - 0.3)
+        clear = all(
+            not area.polygon.is_close(lon, lat, 5000.0) for area in world.areas
+        ) and all(
+            haversine_meters(port.lon, port.lat, lon, lat)
+            > port_clearance_meters
+            for port in world.ports
+        )
+        if clear:
+            return lon, lat
+    raise ValueError("no offshore meeting point clear of ports and areas")
+
+
 def make_shallow_runner(
     mmsi: int,
     world: WorldModel,

@@ -1,0 +1,16 @@
+"""Deterministic spatial indexing for pairwise and area queries.
+
+The package hosts the per-slide grid index over vessel positions
+(:mod:`repro.spatial.grid`) and the closest-point-of-approach math
+(:mod:`repro.spatial.cpa`) that the pairwise maritime layer
+(:mod:`repro.maritime.pairwise`) builds on.  See docs/SPATIAL.md.
+"""
+
+from repro.spatial.cpa import closest_point_of_approach
+from repro.spatial.grid import SlideGridIndex, StaticBoxIndex
+
+__all__ = [
+    "SlideGridIndex",
+    "StaticBoxIndex",
+    "closest_point_of_approach",
+]

@@ -1,0 +1,56 @@
+"""Closest point of approach (CPA/TCPA) between two moving vessels.
+
+Standard collision-avoidance kinematics on a local tangent plane: with
+relative position ``dr`` and relative velocity ``dv``,
+
+* ``tcpa = -(dr . dv) / |dv|^2`` — seconds until the pair is closest
+  (negative means they are already diverging);
+* ``dcpa = |dr + dv * tcpa|`` — the separation at that moment, meters.
+
+Positions are projected equirectangularly around the mean latitude —
+exact enough at proximity-radius scale (a few kilometres), and, being
+pure ``math`` on the inputs, bit-deterministic across runs.  Headings
+follow the AIS convention: degrees clockwise from true north.
+"""
+
+import math
+
+from repro.geo.haversine import EARTH_RADIUS_METERS
+
+
+def closest_point_of_approach(
+    lon1: float,
+    lat1: float,
+    speed1_mps: float,
+    heading1_degrees: float,
+    lon2: float,
+    lat2: float,
+    speed2_mps: float,
+    heading2_degrees: float,
+) -> tuple[float, float]:
+    """Return ``(tcpa_seconds, dcpa_meters)`` for two moving vessels.
+
+    With zero relative velocity the pair neither closes nor opens:
+    ``tcpa`` is 0 and ``dcpa`` is the current separation.
+    """
+    reference = math.radians((lat1 + lat2) / 2.0)
+    cos_reference = math.cos(reference)
+    dlam = math.radians(lon2 - lon1)
+    if dlam > math.pi:
+        dlam -= 2.0 * math.pi
+    elif dlam < -math.pi:
+        dlam += 2.0 * math.pi
+    x = dlam * cos_reference * EARTH_RADIUS_METERS
+    y = math.radians(lat2 - lat1) * EARTH_RADIUS_METERS
+
+    theta1 = math.radians(heading1_degrees)
+    theta2 = math.radians(heading2_degrees)
+    dvx = speed2_mps * math.sin(theta2) - speed1_mps * math.sin(theta1)
+    dvy = speed2_mps * math.cos(theta2) - speed1_mps * math.cos(theta1)
+
+    speed_squared = dvx * dvx + dvy * dvy
+    if speed_squared <= 1e-12:
+        return 0.0, math.hypot(x, y)
+    tcpa = -(x * dvx + y * dvy) / speed_squared
+    dcpa = math.hypot(x + dvx * tcpa, y + dvy * tcpa)
+    return tcpa, dcpa

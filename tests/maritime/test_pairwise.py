@@ -1,0 +1,343 @@
+"""The pairwise layer: monitor fact emission and CE rules.
+
+Monitor tests use a one-port world so offshore-vs-near-port positions
+are unambiguous; rule tests drive a pairwise-enabled recognizer with
+hand-built fact streams and read the resulting alerts.
+"""
+
+import random
+
+import pytest
+
+from repro.geo.polygon import BoundingBox, GeoPolygon
+from repro.geo.units import knots_to_mps
+from repro.maritime.pairwise import (
+    PairFact,
+    PairwiseConfig,
+    PairwiseMonitor,
+)
+from repro.maritime.recognizer import MaritimeRecognizer
+from repro.simulator.world import Port, WorldModel
+from repro.tracking.types import MovementEvent, MovementEventType
+
+PORT_LON, PORT_LAT = 23.0, 37.0
+#: ~88 km east of the only port: decisively offshore.
+OFFSHORE_LON = 24.0
+#: ~1.8 km from the port anchor: decisively inshore.
+INSHORE_LON = 23.02
+
+
+@pytest.fixture()
+def tiny_world():
+    square = GeoPolygon(
+        "port_sq",
+        [(22.99, 36.99), (23.01, 36.99), (23.01, 37.01), (22.99, 37.01)],
+    )
+    return WorldModel(
+        bbox=BoundingBox(20.0, 35.0, 28.0, 40.0),
+        ports=[Port("port", PORT_LON, PORT_LAT, square)],
+    )
+
+
+def me(
+    mmsi,
+    lon,
+    lat,
+    timestamp,
+    speed_knots=8.0,
+    heading=90.0,
+    kind=MovementEventType.SPEED_CHANGE,
+):
+    return MovementEvent(
+        event_type=kind,
+        mmsi=mmsi,
+        lon=lon,
+        lat=lat,
+        timestamp=timestamp,
+        speed_mps=knots_to_mps(speed_knots),
+        heading_degrees=heading,
+    )
+
+
+def functors(facts):
+    return [(f.functor, f.args, f.timestamp) for f in facts]
+
+
+class TestPairwiseMonitor:
+    def test_close_pair_emits_pair_close(self, tiny_world):
+        monitor = PairwiseMonitor(tiny_world)
+        facts = monitor.observe(
+            [
+                me(1, OFFSHORE_LON, 37.0, 100),
+                me(2, OFFSHORE_LON + 0.01, 37.0, 110),
+            ],
+            query_time=1800,
+        )
+        assert ("pair_close", (1, 2), 110) in functors(facts)
+        # Far pair on the same slide: no fact for it.
+        facts = monitor.observe([me(3, 26.0, 39.0, 120)], query_time=1800)
+        assert all(fact.args != (1, 3) for fact in facts)
+
+    def test_slow_offshore_pair_gets_rendezvous_preconditions(self, tiny_world):
+        monitor = PairwiseMonitor(tiny_world)
+        facts = monitor.observe(
+            [
+                me(1, OFFSHORE_LON, 37.0, 100, speed_knots=2.0),
+                me(2, OFFSHORE_LON + 0.005, 37.0, 100, speed_knots=2.0),
+            ],
+            query_time=1800,
+        )
+        kinds = {f.functor for f in facts}
+        assert {"pair_close", "pair_slow", "pair_offshore"} <= kinds
+
+    def test_slow_near_port_is_not_offshore(self, tiny_world):
+        monitor = PairwiseMonitor(tiny_world)
+        facts = monitor.observe(
+            [
+                me(1, INSHORE_LON, 37.0, 100, speed_knots=2.0),
+                me(2, INSHORE_LON + 0.005, 37.0, 100, speed_knots=2.0),
+            ],
+            query_time=1800,
+        )
+        kinds = {f.functor for f in facts}
+        assert "pair_slow" in kinds
+        assert "pair_offshore" not in kinds
+
+    def test_speedup_edge_and_separation(self, tiny_world):
+        monitor = PairwiseMonitor(tiny_world)
+        monitor.observe(
+            [
+                me(1, OFFSHORE_LON, 37.0, 100, speed_knots=2.0),
+                me(2, OFFSHORE_LON + 0.005, 37.0, 100, speed_knots=2.0),
+            ],
+            query_time=150,
+        )
+        # Both speed up while still close: one pair_speedup, once.
+        facts = monitor.observe(
+            [
+                me(1, OFFSHORE_LON, 37.0, 200, speed_knots=12.0),
+                me(2, OFFSHORE_LON + 0.005, 37.0, 200, speed_knots=12.0),
+            ],
+            query_time=250,
+        )
+        assert ("pair_speedup", (1, 2), 200) in functors(facts)
+        # Then they separate: pair_far at the latest member timestamp
+        # (not via staleness — both tracks are still fresh here).
+        facts = monitor.observe(
+            [me(2, OFFSHORE_LON + 1.0, 37.0, 300, speed_knots=12.0)],
+            query_time=350,
+        )
+        assert ("pair_far", (1, 2), 300) in functors(facts)
+        # The episode is closed; a further update emits nothing for it.
+        facts = monitor.observe(
+            [me(2, OFFSHORE_LON + 1.1, 37.0, 400)], query_time=450
+        )
+        assert all(fact.args != (1, 2) for fact in facts)
+
+    def test_cpa_risk_rising_edge_only(self, tiny_world):
+        monitor = PairwiseMonitor(tiny_world)
+        head_on = [
+            me(1, OFFSHORE_LON, 37.0, 100, speed_knots=10.0, heading=0.0),
+            me(2, OFFSHORE_LON, 37.02, 100, speed_knots=10.0, heading=180.0),
+        ]
+        facts = monitor.observe(head_on, query_time=1800)
+        assert ("pair_cpa_risk", (1, 2), 100) in functors(facts)
+        # Still converging next slide: the flag is level, no repeat fact.
+        still_head_on = [
+            me(1, OFFSHORE_LON, 37.005, 200, speed_knots=10.0, heading=0.0),
+            me(2, OFFSHORE_LON, 37.015, 200, speed_knots=10.0, heading=180.0),
+        ]
+        facts = monitor.observe(still_head_on, query_time=3600)
+        assert "pair_cpa_risk" not in {f.functor for f in facts}
+
+    def test_parallel_pair_is_not_risky(self, tiny_world):
+        monitor = PairwiseMonitor(tiny_world)
+        facts = monitor.observe(
+            [
+                me(1, OFFSHORE_LON, 37.0, 100, speed_knots=10.0, heading=90.0),
+                me(2, OFFSHORE_LON, 37.02, 100, speed_knots=10.0, heading=90.0),
+            ],
+            query_time=1800,
+        )
+        assert "pair_cpa_risk" not in {f.functor for f in facts}
+
+    def test_dark_gap_requires_offshore_at_both_ends(self, tiny_world):
+        monitor = PairwiseMonitor(tiny_world)
+        offshore_gap = [
+            me(5, OFFSHORE_LON, 37.0, 100, kind=MovementEventType.GAP_START),
+            me(5, OFFSHORE_LON + 0.05, 37.0, 900, kind=MovementEventType.GAP_END),
+        ]
+        facts = monitor.observe(offshore_gap, query_time=1800)
+        assert ("dark_gap", (5,), 900) in functors(facts)
+
+        # Gap starting at the port: routine docking, not a dark ship.
+        monitor = PairwiseMonitor(tiny_world)
+        docked = [
+            me(6, INSHORE_LON, 37.0, 100, kind=MovementEventType.GAP_START),
+            me(6, OFFSHORE_LON, 37.0, 900, kind=MovementEventType.GAP_END),
+        ]
+        assert "dark_gap" not in {
+            f.functor for f in monitor.observe(docked, query_time=1800)
+        }
+
+        # Gap ending at the port: arrival, equally innocent.
+        monitor = PairwiseMonitor(tiny_world)
+        arriving = [
+            me(7, OFFSHORE_LON, 37.0, 100, kind=MovementEventType.GAP_START),
+            me(7, INSHORE_LON, 37.0, 900, kind=MovementEventType.GAP_END),
+        ]
+        assert "dark_gap" not in {
+            f.functor for f in monitor.observe(arriving, query_time=1800)
+        }
+
+    def test_stale_track_expiry_closes_episode(self, tiny_world):
+        config = PairwiseConfig(stale_seconds=600)
+        monitor = PairwiseMonitor(tiny_world, config)
+        monitor.observe(
+            [
+                me(1, OFFSHORE_LON, 37.0, 100),
+                me(2, OFFSHORE_LON + 0.005, 37.0, 100),
+            ],
+            query_time=200,
+        )
+        # Vessel 2 goes silent; when its track ages out, the episode is
+        # force-closed at the query time.
+        facts = monitor.observe([], query_time=100 + 600 + 1)
+        assert ("pair_far", (1, 2), 701) in functors(facts)
+
+    def test_anchor_is_stable_across_the_episode(self, tiny_world):
+        monitor = PairwiseMonitor(tiny_world)
+        first = monitor.observe(
+            [
+                me(1, OFFSHORE_LON, 37.0, 100),
+                me(2, OFFSHORE_LON + 0.01, 37.0, 100),
+            ],
+            query_time=1800,
+        )
+        # The pair drifts east together; the anchor must not move.
+        second = monitor.observe(
+            [
+                me(1, OFFSHORE_LON + 0.2, 37.0, 200),
+                me(2, OFFSHORE_LON + 0.21, 37.0, 200),
+            ],
+            query_time=3600,
+        )
+        anchors = {
+            f.anchor_lon for f in first + second if f.args == (1, 2)
+        }
+        assert len(anchors) == 1
+
+    def test_output_is_a_pure_function_of_the_event_multiset(self, tiny_world):
+        events = [
+            me(1, OFFSHORE_LON, 37.0, 100, speed_knots=2.0),
+            me(2, OFFSHORE_LON + 0.005, 37.0, 100, speed_knots=2.0),
+            me(3, OFFSHORE_LON + 0.006, 37.0, 150, speed_knots=2.0),
+            me(2, OFFSHORE_LON + 0.004, 37.0, 150, speed_knots=11.0),
+            me(4, 26.5, 39.0, 120),
+        ]
+        baseline = PairwiseMonitor(tiny_world).observe(list(events), 1800)
+        rng = random.Random(5)
+        for _ in range(10):
+            shuffled = list(events)
+            rng.shuffle(shuffled)
+            assert PairwiseMonitor(tiny_world).observe(shuffled, 1800) == baseline
+
+
+class TestPairwiseRules:
+    """The CE definitions, exercised through a pairwise recognizer."""
+
+    WINDOW = 3600
+
+    def recognize(self, tiny_world, facts, query_time):
+        recognizer = MaritimeRecognizer(
+            tiny_world, specs={}, window_seconds=self.WINDOW, pairwise=True
+        )
+        recognizer.ingest_facts(facts, arrival_time=query_time)
+        result = recognizer.step(query_time)
+        return recognizer.alerts(result)
+
+    def fact(self, functor, args, timestamp):
+        return PairFact(functor, args, timestamp, anchor_lon=24.0)
+
+    def test_encounter_opens_and_closes(self, tiny_world):
+        alerts = self.recognize(
+            tiny_world,
+            [
+                self.fact("pair_close", (1, 2), 100),
+                self.fact("pair_far", (1, 2), 500),
+            ],
+            query_time=1000,
+        )
+        encounters = [a for a in alerts if a.kind == "encounter"]
+        assert len(encounters) == 1
+        alert = encounters[0]
+        assert (alert.since, alert.until) == (100, 500)
+        assert (alert.mmsi, alert.mmsi2) == (1, 2)
+        assert alert.area == ""
+
+    def test_encounter_still_open_at_query_time(self, tiny_world):
+        alerts = self.recognize(
+            tiny_world,
+            [self.fact("pair_close", (1, 2), 100)],
+            query_time=1000,
+        )
+        [alert] = [a for a in alerts if a.kind == "encounter"]
+        assert alert.until is None and alert.is_ongoing
+
+    def test_rendezvous_needs_all_three_preconditions(self, tiny_world):
+        complete = [
+            self.fact("pair_close", (1, 2), 100),
+            self.fact("pair_slow", (1, 2), 100),
+            self.fact("pair_offshore", (1, 2), 100),
+        ]
+        alerts = self.recognize(tiny_world, complete, query_time=1000)
+        assert any(a.kind == "rendezvous" for a in alerts)
+
+        # Drop any one precondition and the rendezvous disappears.
+        for missing in range(3):
+            partial = [f for i, f in enumerate(complete) if i != missing]
+            alerts = self.recognize(tiny_world, partial, query_time=1000)
+            assert not any(a.kind == "rendezvous" for a in alerts)
+
+    def test_rendezvous_terminated_by_speedup(self, tiny_world):
+        alerts = self.recognize(
+            tiny_world,
+            [
+                self.fact("pair_close", (1, 2), 100),
+                self.fact("pair_slow", (1, 2), 100),
+                self.fact("pair_offshore", (1, 2), 100),
+                self.fact("pair_speedup", (1, 2), 600),
+            ],
+            query_time=1000,
+        )
+        [alert] = [a for a in alerts if a.kind == "rendezvous"]
+        assert (alert.since, alert.until) == (100, 600)
+        # The plain encounter survives the speedup.
+        [encounter] = [a for a in alerts if a.kind == "encounter"]
+        assert encounter.until is None
+
+    def test_cpa_risk_and_dark_ship_events(self, tiny_world):
+        alerts = self.recognize(
+            tiny_world,
+            [
+                self.fact("pair_cpa_risk", (3, 4), 250),
+                self.fact("dark_gap", (9,), 400),
+            ],
+            query_time=1000,
+        )
+        [risk] = [a for a in alerts if a.kind == "cpaRisk"]
+        assert (risk.since, risk.mmsi, risk.mmsi2) == (250, 3, 4)
+        [dark] = [a for a in alerts if a.kind == "darkShip"]
+        assert (dark.since, dark.mmsi, dark.mmsi2) == (400, 9, None)
+
+
+class TestPairwiseConfig:
+    def test_defaults_validate(self):
+        config = PairwiseConfig()
+        assert config.low_speed_mps == pytest.approx(knots_to_mps(5.0))
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            PairwiseConfig(proximity_radius_meters=0.0)
+        with pytest.raises(ValueError):
+            PairwiseConfig(stale_seconds=-1)

@@ -116,6 +116,59 @@ class TestHttpApi:
         assert [a["seq"] for a in json.loads(tail[2])["alerts"]] == [2]
         assert bad[0] == 400
 
+    def test_alerts_type_filter(self):
+        async def scenario(api, supervisor):
+            supervisor.alert_ring.append(
+                1800,
+                (
+                    Alert("suspicious", "area_1", 60, None, 1),
+                    Alert("illegalFishing", "area_2", 90, 120, 2),
+                    Alert("rendezvous", "", 100, 400, mmsi=3, mmsi2=4),
+                    Alert("darkShip", "", 150, mmsi=4),
+                ),
+            )
+            with obs.activate(obs.MetricsRegistry()) as registry:
+                pairwise = await http_request(
+                    api.port, "/alerts?type=rendezvous,darkShip"
+                )
+                filtered = registry.snapshot()["counters"].get(
+                    "service.http.alerts_filtered"
+                )
+            single = await http_request(api.port, "/alerts?type=suspicious")
+            combined = await http_request(
+                api.port, "/alerts?since=1&type=illegalFishing"
+            )
+            return pairwise, filtered, single, combined
+
+        pairwise, filtered, single, combined = serve(scenario)
+        payload = json.loads(pairwise[2])
+        assert [a["kind"] for a in payload["alerts"]] == [
+            "rendezvous", "darkShip",
+        ]
+        assert payload["alerts"][0]["mmsi2"] == 4
+        # The cursor still reflects the unfiltered ring head.
+        assert payload["last_seq"] == 4
+        # The two excluded entries were counted, not silently dropped.
+        assert filtered == 2
+        assert [a["kind"] for a in json.loads(single[2])["alerts"]] == [
+            "suspicious"
+        ]
+        # ``since`` applies before the kind filter.
+        assert [a["seq"] for a in json.loads(combined[2])["alerts"]] == [2]
+
+    def test_alerts_type_filter_rejects_unknown_kinds(self):
+        async def scenario(api, supervisor):
+            unknown = await http_request(api.port, "/alerts?type=meteorStrike")
+            empty = await http_request(api.port, "/alerts?type=,")
+            return unknown, empty
+
+        unknown, empty = serve(scenario)
+        assert unknown[0] == 400
+        payload = json.loads(unknown[2])
+        assert payload["unknown"] == ["meteorStrike"]
+        assert "rendezvous" in payload["known"]
+        assert empty[0] == 400
+
     def test_unknown_path_and_bad_method(self):
         async def scenario(api, supervisor):
             missing = await http_request(api.port, "/nope")

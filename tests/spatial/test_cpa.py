@@ -1,0 +1,83 @@
+"""CPA/TCPA kinematics against analytic ground truth."""
+
+import math
+
+import pytest
+
+from repro.geo.haversine import EARTH_RADIUS_METERS, haversine_meters
+from repro.spatial.cpa import closest_point_of_approach
+
+
+def lat_offset(meters: float) -> float:
+    return math.degrees(meters / EARTH_RADIUS_METERS)
+
+
+class TestClosestPointOfApproach:
+    def test_head_on_collision_course(self):
+        # Two vessels 10 km apart on the same meridian, steaming directly
+        # at each other at 5 m/s each: closing speed 10 m/s, so
+        # tcpa = 1000 s and they meet (dcpa ~ 0).
+        separation = 10_000.0
+        tcpa, dcpa = closest_point_of_approach(
+            24.0, 37.0, 5.0, 0.0,  # northbound
+            24.0, 37.0 + lat_offset(separation), 5.0, 180.0,  # southbound
+        )
+        assert tcpa == pytest.approx(1000.0, rel=1e-3)
+        assert dcpa == pytest.approx(0.0, abs=1.0)
+
+    def test_parallel_same_velocity_never_closes(self):
+        # Identical velocity: zero relative motion, tcpa pinned to 0 and
+        # dcpa is just the current separation.
+        separation = 2_000.0
+        lat2 = 37.0 + lat_offset(separation)
+        tcpa, dcpa = closest_point_of_approach(
+            24.0, 37.0, 6.0, 90.0, 24.0, lat2, 6.0, 90.0
+        )
+        assert tcpa == 0.0
+        assert dcpa == pytest.approx(
+            haversine_meters(24.0, 37.0, 24.0, lat2), rel=1e-3
+        )
+
+    def test_crossing_perpendicular(self):
+        # Vessel 2 starts 1 km north of a point that vessel 1 (eastbound,
+        # 5 m/s) will reach in 800 s; vessel 2 is stationary.  Closest
+        # approach is abeam: dcpa = 1 km at tcpa = 800 s.
+        along = 4_000.0
+        abeam = 1_000.0
+        lon_per_meter = math.degrees(
+            1.0 / (EARTH_RADIUS_METERS * math.cos(math.radians(37.0)))
+        )
+        tcpa, dcpa = closest_point_of_approach(
+            24.0, 37.0, 5.0, 90.0,
+            24.0 + along * lon_per_meter, 37.0 + lat_offset(abeam), 0.0, 0.0,
+        )
+        assert tcpa == pytest.approx(800.0, rel=1e-2)
+        assert dcpa == pytest.approx(abeam, rel=1e-2)
+
+    def test_diverging_pair_has_negative_tcpa(self):
+        # Back to back at full speed: closest approach was in the past
+        # (they were co-located 100 s ago at 10 m/s closing speed).
+        tcpa, dcpa = closest_point_of_approach(
+            24.0, 37.0, 5.0, 180.0,
+            24.0, 37.0 + lat_offset(1_000.0), 5.0, 0.0,
+        )
+        assert tcpa == pytest.approx(-100.0, rel=1e-2)
+        assert dcpa == pytest.approx(0.0, abs=1.0)
+
+    def test_antimeridian_pair(self):
+        # Straddling 180 degrees: the projected x-offset must take the
+        # short way around, giving a sane (small) dcpa.
+        tcpa, dcpa = closest_point_of_approach(
+            179.99, 0.0, 0.0, 0.0, -179.99, 0.0, 0.0, 0.0
+        )
+        assert tcpa == 0.0
+        assert dcpa == pytest.approx(
+            haversine_meters(179.99, 0.0, -179.99, 0.0), rel=1e-3
+        )
+        assert dcpa < 3_000.0
+
+    def test_deterministic(self):
+        args = (24.01, 37.02, 4.5, 33.0, 24.03, 37.01, 6.2, 210.0)
+        assert closest_point_of_approach(*args) == closest_point_of_approach(
+            *args
+        )

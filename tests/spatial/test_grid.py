@@ -1,0 +1,179 @@
+"""Grid index correctness: brute-force parity and the awkward geometries.
+
+The index is a prefilter, never an approximation — every test here pits
+``SlideGridIndex`` against an exhaustive O(n^2) scan with the same exact
+within-radius predicate and demands identical answers.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.geo.haversine import haversine_meters
+from repro.geo.polygon import BoundingBox
+from repro.spatial.grid import SlideGridIndex, StaticBoxIndex, _within_radius
+
+RADIUS = 3000.0
+
+
+def brute_force_pairs(points: dict[int, tuple[float, float]], radius: float):
+    """Reference answer: every pair, exact Haversine, sorted (a, b)."""
+    keys = sorted(points)
+    return [
+        (a, b)
+        for i, a in enumerate(keys)
+        for b in keys[i + 1 :]
+        if haversine_meters(*points[a], *points[b]) <= radius
+    ]
+
+
+def build(points: dict[int, tuple[float, float]], radius: float = RADIUS):
+    index = SlideGridIndex(radius)
+    for key, (lon, lat) in points.items():
+        index.insert(key, lon, lat)
+    return index
+
+
+class TestWithinRadius:
+    def test_matches_exact_haversine(self):
+        rng = random.Random(7)
+        for _ in range(500):
+            lon1 = rng.uniform(-180.0, 180.0)
+            lat1 = rng.uniform(-85.0, 85.0)
+            lon2 = lon1 + rng.uniform(-0.1, 0.1)
+            lat2 = lat1 + rng.uniform(-0.1, 0.1)
+            exact = haversine_meters(lon1, lat1, lon2, lat2) <= RADIUS
+            assert _within_radius(lon1, lat1, lon2, lat2, RADIUS) == exact
+
+    def test_short_way_across_antimeridian(self):
+        # 179.99W to 179.99E is ~2 km at the equator, not ~40000 km.
+        assert _within_radius(-179.99, 0.0, 179.99, 0.0, RADIUS)
+        assert not _within_radius(-179.0, 0.0, 179.0, 0.0, RADIUS)
+
+
+class TestSlideGridIndex:
+    def test_close_pairs_matches_brute_force_random_cluster(self):
+        rng = random.Random(2015)
+        points = {
+            mmsi: (24.0 + rng.uniform(-0.2, 0.2), 37.5 + rng.uniform(-0.2, 0.2))
+            for mmsi in range(200)
+        }
+        index = build(points)
+        assert index.close_pairs() == brute_force_pairs(points, RADIUS)
+        # O(n.k): the grid must have screened far fewer than n(n-1)/2.
+        assert 0 < index.candidates_examined < 200 * 199 // 2
+
+    def test_close_pairs_matches_brute_force_high_latitude(self):
+        # Near 80N a longitude degree is ~6x shorter; the column span
+        # widens and must still cover the radius.
+        rng = random.Random(4)
+        points = {
+            mmsi: (10.0 + rng.uniform(-0.5, 0.5), 80.0 + rng.uniform(-0.1, 0.1))
+            for mmsi in range(80)
+        }
+        assert build(points).close_pairs() == brute_force_pairs(points, RADIUS)
+
+    def test_antimeridian_adjacent_cells(self):
+        # Vessels straddling 180 degrees sit in columns that are grid
+        # neighbours only because the column index wraps.
+        points = {
+            1: (179.995, 10.0),
+            2: (-179.995, 10.0),  # ~1.1 km east of vessel 1
+            3: (179.0, 10.0),  # over 100 km away
+        }
+        index = build(points)
+        assert index.close_pairs() == [(1, 2)]
+        assert index.near(-179.999, 10.0) == [1, 2]
+
+    def test_empty_slide(self):
+        index = SlideGridIndex(RADIUS)
+        assert len(index) == 0
+        assert index.close_pairs() == []
+        assert index.candidates_examined == 0
+        assert index.near(24.0, 37.5) == []
+
+    def test_single_vessel(self):
+        index = build({42: (24.0, 37.5)})
+        assert index.close_pairs() == []
+        assert index.near(24.0, 37.5) == [42]
+        assert index.near(30.0, 37.5) == []
+
+    def test_co_located_vessels(self):
+        # Zero separation (same cell, same coordinates) must not divide
+        # by zero or drop the pair; every pair is within any radius.
+        points = {1: (24.0, 37.5), 2: (24.0, 37.5), 3: (24.0, 37.5)}
+        index = build(points)
+        assert index.close_pairs() == [(1, 2), (1, 3), (2, 3)]
+        assert index.near(24.0, 37.5) == [1, 2, 3]
+
+    def test_insertion_order_is_irrelevant(self):
+        rng = random.Random(13)
+        points = {
+            mmsi: (24.0 + rng.uniform(-0.1, 0.1), 37.5 + rng.uniform(-0.1, 0.1))
+            for mmsi in range(50)
+        }
+        forward = build(points)
+        shuffled = SlideGridIndex(RADIUS)
+        order = list(points)
+        rng.shuffle(order)
+        for key in order:
+            shuffled.insert(key, *points[key])
+        assert forward.close_pairs() == shuffled.close_pairs()
+
+    def test_duplicate_key_rejected(self):
+        index = build({1: (24.0, 37.5)})
+        with pytest.raises(ValueError, match="duplicate key"):
+            index.insert(1, 25.0, 38.0)
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ValueError):
+            SlideGridIndex(0.0)
+
+    def test_boundary_pair_exactly_at_radius(self):
+        # A pair separated by almost exactly the radius: nudge one vessel
+        # until the Haversine crosses the threshold and check both sides.
+        lat = 37.5
+        dlat_at_radius = math.degrees(RADIUS / 6_371_008.8)
+        inside = build({1: (24.0, lat), 2: (24.0, lat + dlat_at_radius * 0.999)})
+        outside = build({1: (24.0, lat), 2: (24.0, lat + dlat_at_radius * 1.001)})
+        assert inside.close_pairs() == [(1, 2)]
+        assert outside.close_pairs() == []
+
+
+class TestStaticBoxIndex:
+    def test_candidates_superset_in_insertion_order(self):
+        boxes = [
+            (0, BoundingBox(24.0, 37.0, 24.1, 37.1)),
+            (1, BoundingBox(24.05, 37.05, 24.15, 37.15)),
+            (2, BoundingBox(30.0, 40.0, 30.1, 40.1)),
+        ]
+        index = StaticBoxIndex(boxes)
+        hits = index.candidates(24.07, 37.07)
+        # Both overlapping boxes, original enumeration order, distant
+        # box excluded.
+        assert [k for k in hits if boxes[k][1].contains(24.07, 37.07)] == [0, 1]
+        assert 2 not in hits
+        assert index.candidates(0.0, 0.0) == []
+
+    def test_never_misses_a_containing_box(self):
+        rng = random.Random(99)
+        boxes = []
+        for key in range(40):
+            lon = rng.uniform(20.0, 28.0)
+            lat = rng.uniform(35.0, 40.0)
+            boxes.append(
+                (key, BoundingBox(lon, lat, lon + rng.uniform(0.01, 0.3),
+                                  lat + rng.uniform(0.01, 0.3)))
+            )
+        index = StaticBoxIndex(boxes)
+        for _ in range(300):
+            lon = rng.uniform(19.0, 29.0)
+            lat = rng.uniform(34.0, 41.0)
+            hits = set(index.candidates(lon, lat))
+            for key, box in boxes:
+                if box.contains(lon, lat):
+                    assert key in hits
+
+    def test_empty_index(self):
+        assert StaticBoxIndex([]).candidates(24.0, 37.5) == []
