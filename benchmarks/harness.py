@@ -490,6 +490,112 @@ def run_service_benchmark(
         }
 
 
+def run_gateway_benchmark(
+    fleet_size: int = FLEET_SIZE,
+    duration: int = DURATION_SECONDS,
+    window: WindowSpec | None = None,
+    gateways: int = 2,
+    runtimes: int = 4,
+) -> dict:
+    """Measure the scale-out tier end to end: a 2×4 gateway cluster.
+
+    Encodes the benchmark stream as timestamped sentences, splits it
+    round-robin across the gateway nodes (each substream stays
+    time-ordered, the watermark monotonicity contract), replays both
+    halves concurrently through real sockets, and drains.  Returns the
+    ``gateway`` section of ``BENCH_pipeline.json``: aggregate alerts/sec
+    through the merged feed plus per-node ingest p50/p99 (gateway link
+    queue wait, the scale-out tier's own overhead; see docs/GATEWAY.md).
+    """
+    import asyncio
+    import json
+
+    from repro.ais import encode_position_report, wrap_aivdm
+    from repro.ais.messages import PositionReport
+    from repro.gateway import GatewayCluster, GatewayClusterConfig
+
+    window = window or WindowSpec.of_minutes(120, 30)
+    _, specs, stream = benchmark_fleet(fleet_size, duration)
+    sentences = []
+    for position in stream:
+        payload, fill = encode_position_report(PositionReport(
+            message_type=1,
+            mmsi=position.mmsi,
+            lon=position.lon,
+            lat=position.lat,
+            speed_knots=10.0,
+            course_degrees=90.0,
+            second_of_minute=position.timestamp % 60,
+        ))
+        sentences.append((position.timestamp, wrap_aivdm(payload, fill)))
+    # Round-robin deal: each gateway's substream keeps the stream's time
+    # order, satisfying the per-source watermark monotonicity contract.
+    streams = [sentences[g::gateways] for g in range(gateways)]
+
+    async def drive():
+        cluster = GatewayCluster(
+            benchmark_world(),
+            specs,
+            SystemConfig(window=window, ce_scope="vessel"),
+            GatewayClusterConfig(
+                gateways=gateways,
+                runtimes=runtimes,
+                # Unpaced replay: size every buffer for the whole stream
+                # so the section measures tier overhead, not shedding
+                # (tests/service/test_transports.py covers shedding).
+                link_queue_size=len(sentences) + 1,
+                ingest_queue_size=len(sentences) + 1,
+            ),
+        )
+        await cluster.start()
+        started = time.perf_counter()
+
+        async def feed(gateway: int) -> None:
+            session = await cluster.connect_ingest(gateway)
+            for receive_time, sentence in streams[gateway]:
+                await session.send(f"{receive_time}\t{sentence}")
+            await session.close()
+
+        await asyncio.gather(*(feed(g) for g in range(gateways)))
+        await cluster.drain_and_stop()
+        return cluster, time.perf_counter() - started
+
+    with obs.activate(obs.MetricsRegistry()):
+        cluster, elapsed = asyncio.run(drive())
+
+    merged = [json.loads(line) for line in cluster.merged_lines]
+    alerts = sum(len(payload["alerts"]) for payload in merged)
+    nodes = []
+    for node in cluster.nodes:
+        latency = node.registry.histogram("gateway.ingest.latency_seconds")
+        counters = node.registry.snapshot()["counters"]
+        nodes.append({
+            "name": node.name,
+            "lines": int(counters.get("gateway.ingest.lines", 0)),
+            "watermarks": int(counters.get("gateway.watermarks", 0)),
+            "link_shed": int(counters.get("gateway.link.shed", 0)),
+            "ingest_latency_ms": {
+                "p50": latency.quantile(0.5) * 1000.0,
+                "p99": latency.quantile(0.99) * 1000.0,
+                "mean": latency.mean * 1000.0,
+                "max": (latency.max if latency.count else 0.0) * 1000.0,
+            },
+        })
+    return {
+        "fleet_size": fleet_size,
+        "duration_seconds": duration,
+        "gateways": gateways,
+        "runtimes": runtimes,
+        "sentences": len(sentences),
+        "merged_lines": len(merged),
+        "alerts": alerts,
+        "elapsed_seconds": elapsed,
+        "sentences_per_sec": len(sentences) / elapsed if elapsed > 0 else 0.0,
+        "alerts_per_sec": alerts / elapsed if elapsed > 0 else 0.0,
+        "nodes": nodes,
+    }
+
+
 def run_chaos_benchmark(
     fleet_size: int = FLEET_SIZE,
     duration: int = DURATION_SECONDS,
@@ -761,6 +867,10 @@ if __name__ == "__main__":
                              "fleet with pairwise CE recognition on and "
                              "record grid-index build time, candidate pairs "
                              "per slide and pairwise events/sec")
+    parser.add_argument("--gateway", action="store_true",
+                        help="also replay the stream through a 2-gateway x "
+                             "4-runtime cluster and record aggregate "
+                             "alerts/sec plus per-node ingest p50/p99")
     parser.add_argument("--lint", action="store_true",
                         help="also time `python -m repro.analysis` over "
                              "src and tests and record analyzer "
@@ -792,6 +902,10 @@ if __name__ == "__main__":
         )
     if cli.pairwise:
         bench_report["pairwise"] = run_pairwise_benchmark(
+            fleet_size=cli.fleet_size, duration=duration_seconds
+        )
+    if cli.gateway:
+        bench_report["gateway"] = run_gateway_benchmark(
             fleet_size=cli.fleet_size, duration=duration_seconds
         )
     if cli.lint:
@@ -856,6 +970,20 @@ if __name__ == "__main__":
             f"brute force)  "
             f"events/s={pairwise['pairwise_events_per_sec']:.2f}"
         )
+    if cli.gateway:
+        gw = bench_report["gateway"]
+        print(
+            f"  gateway: {gw['gateways']}x{gw['runtimes']} cluster  "
+            f"{gw['sentences_per_sec']:.0f} sentences/s  "
+            f"alerts/s={gw['alerts_per_sec']:.2f}"
+        )
+        for entry in gw["nodes"]:
+            latency = entry["ingest_latency_ms"]
+            print(
+                f"  {entry['name']:>9}: lines={entry['lines']}  "
+                f"link p50={latency['p50']:.2f}ms "
+                f"p99={latency['p99']:.2f}ms  shed={entry['link_shed']}"
+            )
     if cli.lint:
         lint = bench_report["static_analysis"]
         print(

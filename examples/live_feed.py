@@ -3,15 +3,19 @@
 Simulates the same deterministic fleet the server built (match the
 ``--vessels``/``--seed``/``--hours`` values of ``python -m repro --serve``),
 encodes every position as a timestamped ``!AIVDM`` sentence, and streams
-the whole thing over a real TCP socket to the service's ingest port.
-Optionally subscribes to the alert feed concurrently and prints each
-slide's alerts as the server recognizes them.
+the whole thing to the service's ingest port over a pluggable transport
+(``--transport tcp`` is the classic newline wire; ``--transport
+websocket`` speaks RFC 6455 text frames — match the server's
+``--ingest-transport``).  Optionally subscribes to the alert feed
+concurrently, over the same transport, and prints each slide's alerts as
+the server recognizes them.
 
 Run (against ``python -m repro --serve --port 10110 --vessels 30 --hours 4``)::
 
     python examples/live_feed.py --port 10110 --vessels 30 --hours 4
     python examples/live_feed.py --port 10110 --subscribe   # also print alerts
     python examples/live_feed.py --port 10110 --rate 5000   # sentences/sec cap
+    python examples/live_feed.py --port 10110 --transport websocket
 
 The client sends a fraction of type-19 reports split into two-fragment
 sentence groups, exercising the scanner's reassembly path end to end.
@@ -31,6 +35,7 @@ from repro.ais import (
     wrap_aivdm_fragments,
 )
 from repro.service import format_ingest_line
+from repro.transport import create_transport
 
 
 def build_sentences(
@@ -74,35 +79,40 @@ def build_sentences(
 
 
 async def stream_sentences(
-    host: str, port: int, lines: list[str], rate: float = 0.0
+    transport_name: str,
+    host: str,
+    port: int,
+    lines: list[str],
+    rate: float = 0.0,
 ) -> float:
-    """Send every line over one connection; returns the wall seconds taken."""
-    reader, writer = await asyncio.open_connection(host, port)
-    del reader  # the ingest listener never talks back
+    """Send every line over one ingest session; returns the wall seconds."""
+    session = await create_transport(transport_name).connect(
+        host, port, "ingest"
+    )
     started = time.perf_counter()
     interval = 1.0 / rate if rate > 0 else 0.0
-    for index, line in enumerate(lines):
-        writer.write(line.encode("ascii") + b"\n")
-        if index % 500 == 499:
-            await writer.drain()
-        if interval:
-            await asyncio.sleep(interval)
-    await writer.drain()
-    writer.close()
-    await writer.wait_closed()
+    try:
+        for line in lines:
+            await session.send(line)
+            if interval:
+                await asyncio.sleep(interval)
+    finally:
+        await session.close()
     return time.perf_counter() - started
 
 
-async def subscribe_feed(host: str, port: int, stop: asyncio.Event) -> int:
+async def subscribe_feed(
+    transport_name: str, host: str, port: int, stop: asyncio.Event
+) -> int:
     """Print alerts from the subscription feed until the server closes it."""
-    # Slide lines carry every fresh critical point and can exceed the
-    # 64 KiB default StreamReader limit on busy slides.
-    reader, writer = await asyncio.open_connection(host, port, limit=1 << 24)
+    session = await create_transport(transport_name).connect(
+        host, port, "feed"
+    )
     alerts_seen = 0
     try:
         while True:
-            line = await reader.readline()
-            if not line:
+            line = await session.receive()
+            if line is None:
                 break
             payload = json.loads(line)
             for alert in payload.get("alerts", []):
@@ -117,11 +127,7 @@ async def subscribe_feed(host: str, port: int, stop: asyncio.Event) -> int:
             if stop.is_set():
                 break
     finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
+        await session.close()
     return alerts_seen
 
 
@@ -131,17 +137,19 @@ async def run(args: argparse.Namespace) -> int:
     )
     print(
         f"streaming {len(lines)} sentences to "
-        f"{args.host}:{args.port}"
+        f"{args.host}:{args.port} over {args.transport}"
         + (f" at <= {args.rate:g}/s" if args.rate else " (unpaced)")
     )
     stop = asyncio.Event()
     subscriber = None
     if args.subscribe:
         subscriber = asyncio.ensure_future(
-            subscribe_feed(args.host, args.port + 1, stop)
+            subscribe_feed(args.transport, args.host, args.port + 1, stop)
         )
         await asyncio.sleep(0.1)  # subscribe before the first slide lands
-    seconds = await stream_sentences(args.host, args.port, lines, args.rate)
+    seconds = await stream_sentences(
+        args.transport, args.host, args.port, lines, args.rate
+    )
     print(f"sent {len(lines)} sentences in {seconds:.2f}s "
           f"({len(lines) / seconds:.0f}/s)")
     if subscriber is not None:
@@ -159,11 +167,16 @@ async def run(args: argparse.Namespace) -> int:
 
 def main() -> int:
     parser = argparse.ArgumentParser(
-        description="Replay a simulated fleet into the live service over TCP"
+        description="Replay a simulated fleet into the live service"
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=10110,
                         help="the service's ingest port (feed is PORT+1)")
+    parser.add_argument("--transport", choices=("tcp", "websocket"),
+                        default="tcp",
+                        help="wire protocol for both directions; MUST "
+                             "match the server's --ingest-transport / "
+                             "--feed-transport")
     parser.add_argument("--vessels", type=int, default=30,
                         help="fleet size; MUST match the server's")
     parser.add_argument("--hours", type=float, default=4.0,

@@ -61,6 +61,7 @@ from repro import (
     compute_trip_statistics,
 )
 from repro.tracking.backends import DEFAULT_BACKEND, available_backends
+from repro.transport import DEFAULT_TRANSPORT, available_transports
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "0 binds ephemerally)")
     parser.add_argument("--host", default="127.0.0.1",
                         help="bind address with --serve (default: 127.0.0.1)")
+    parser.add_argument("--ingest-transport", default=DEFAULT_TRANSPORT,
+                        choices=available_transports(),
+                        help="wire protocol of the --serve ingest listener "
+                             "(docs/GATEWAY.md) "
+                             f"(default: {DEFAULT_TRANSPORT})")
+    parser.add_argument("--feed-transport", default=DEFAULT_TRANSPORT,
+                        choices=available_transports(),
+                        help="wire protocol of the --serve subscription "
+                             f"feed (default: {DEFAULT_TRANSPORT})")
     parser.add_argument("--wal-dir", metavar="PATH",
                         help="with --serve: write-ahead ingest journal "
                              "directory; restart with the same path to "
@@ -171,6 +181,8 @@ def _serve(args: argparse.Namespace) -> int:
         ingest_port=args.port,
         feed_port=args.port + 1 if args.port else 0,
         http_port=args.port + 2 if args.port else 0,
+        ingest_transport=args.ingest_transport,
+        feed_transport=args.feed_transport,
         shards=args.shards,
         checkpoint_dir=args.checkpoint_dir,
         wal_dir=args.wal_dir,

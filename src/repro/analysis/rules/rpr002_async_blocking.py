@@ -8,7 +8,8 @@ call or socket operation *on the loop* stalls every connection at once
 Blocking work belongs on the executor (``run_in_executor``) or behind
 the async APIs.
 
-Flagged inside ``async def`` bodies in ``repro.service``:
+Flagged inside ``async def`` bodies in ``repro.service``,
+``repro.transport`` and ``repro.gateway``:
 ``time.sleep``, builtin ``open``, anything in :mod:`sqlite3`,
 :mod:`subprocess` or :mod:`requests`, ``socket.socket`` /
 ``socket.create_connection``, ``os.fsync`` / ``os.system``, and
@@ -30,8 +31,9 @@ from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.engine import ModuleContext
 from repro.analysis.registry import Rule, register
 
-#: Package whose async functions are checked.
-ASYNC_PACKAGE = "repro.service"
+#: Packages whose async functions are checked (the service layer plus
+#: the transport adapters and the gateway tier, which share its loop).
+ASYNC_PACKAGES = ("repro.service", "repro.transport", "repro.gateway")
 
 #: Exact canonical origins that block the event loop.
 BLOCKING_CALLS = frozenset({
@@ -50,7 +52,10 @@ BLOCKING_PREFIXES = ("sqlite3.", "subprocess.", "requests.")
 
 def in_scope(module: str) -> bool:
     """Whether RPR002 applies to a module."""
-    return module == ASYNC_PACKAGE or module.startswith(ASYNC_PACKAGE + ".")
+    return any(
+        module == package or module.startswith(package + ".")
+        for package in ASYNC_PACKAGES
+    )
 
 
 def _is_blocking(origin: str) -> bool:

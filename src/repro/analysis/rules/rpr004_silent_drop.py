@@ -8,7 +8,8 @@ loss.  The contract decays one forgotten counter at a time — this rule
 pins it structurally.
 
 A function in the queueing layers (``repro.service``, ``repro.runtime``,
-``repro.resilience``, ``repro.ais``) is a *drop site* when it
+``repro.resilience``, ``repro.ais``, ``repro.transport``,
+``repro.gateway``) is a *drop site* when it
 
 * calls ``<something>.get_nowait()`` (draining/discarding queued items
   outside the normal awaited path), or
@@ -44,6 +45,8 @@ QUEUEING_PACKAGES = (
     "repro.runtime",
     "repro.resilience",
     "repro.ais",
+    "repro.transport",
+    "repro.gateway",
 )
 
 #: Function-name components that mark a shedding operation.

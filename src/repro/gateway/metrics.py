@@ -1,0 +1,44 @@
+"""Federation of per-node metrics registries into one scrape target.
+
+Each gateway node keeps its own :class:`~repro.obs.registry.MetricsRegistry`
+so its vitals survive scrutiny independently; the aggregator renders every
+node's registry under a ``repro_node_<name>`` prefix and appends a
+``repro_cluster`` section that sums counters and gauges across nodes.
+
+Histograms are deliberately *not* summed: the registries keep quantile
+summaries, and quantiles do not aggregate — the cluster section would be
+lying.  Per-node quantiles stay in the per-node sections; anything that
+must be cluster-accurate is a counter (docs/GATEWAY.md).
+"""
+
+import re
+
+from repro.obs.registry import MetricsRegistry, render_prometheus
+
+_NAME_SAFE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _safe(name: str) -> str:
+    return _NAME_SAFE.sub("_", name)
+
+
+def federate_prometheus(registries: dict[str, MetricsRegistry]) -> str:
+    """Prometheus 0.0.4 exposition of every node plus the cluster sum.
+
+    ``registries`` maps a node name to its registry; nodes render in
+    sorted-name order so the exposition is deterministic.
+    """
+    cluster = MetricsRegistry()
+    parts = []
+    for name in sorted(registries):
+        registry = registries[name]
+        parts.append(
+            render_prometheus(registry, prefix=f"repro_node_{_safe(name)}")
+        )
+        snapshot = registry.snapshot()
+        for counter, value in snapshot["counters"].items():
+            cluster.counter(counter).inc(value)
+        for gauge, value in snapshot["gauges"].items():
+            cluster.gauge(gauge).set(cluster.gauge(gauge).value + value)
+    parts.append(render_prometheus(cluster, prefix="repro_cluster"))
+    return "".join(parts)

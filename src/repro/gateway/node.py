@@ -1,0 +1,304 @@
+"""One gateway node: accept clients, shard sentences, emit watermarks.
+
+A :class:`GatewayNode` is the cluster's front door.  It accepts client
+connections on any registered transport, routes each sentence to the
+backend runtime owning its MMSI (:mod:`repro.gateway.routing`), and
+broadcasts in-band watermarks (:func:`repro.service.protocol.format_watermark`)
+to *every* runtime so their slide cadence stays aligned even though each
+sees only a subset of the traffic.
+
+Sentences travel to runtimes over :class:`RuntimeLink`\\ s — bounded
+send queues with the same shed-oldest contract as the ingest queue, a
+``gateway.link`` fault site for chaos drills, and deterministic
+reconnect backoff so a restarted runtime is rejoined transparently.
+"""
+
+import asyncio
+import time
+from collections import deque
+
+from repro.gateway.routing import SentenceRouter
+from repro.obs.registry import MetricsRegistry
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import BackoffPolicy
+from repro.service.protocol import (
+    format_ingest_line,
+    format_watermark,
+    parse_ingest_line,
+)
+from repro.transport.base import Transport, TransportError, TransportSession
+from repro.transport.tcp import CLIENT_READ_LIMIT
+
+#: Reconnect schedule of a link whose runtime went away (~6 s worst case:
+#: long enough to ride out a runtime restart, short enough for tests).
+LINK_BACKOFF = BackoffPolicy(
+    initial_seconds=0.05, multiplier=2.0, max_seconds=2.0, max_attempts=8
+)
+
+#: A queued line awaiting transmission: ``(line, enqueued_at, control)``.
+#: Control lines (watermarks) bypass shedding and fault injection —
+#: losing one would stall a runtime's slide cadence, not lose data.
+_QueuedLine = tuple[str, float, bool]
+
+
+class RuntimeLink:
+    """Bounded, self-healing pipe from one gateway to one runtime."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        transport: Transport,
+        registry: MetricsRegistry,
+        queue_size: int = 8192,
+        policy: BackoffPolicy = LINK_BACKOFF,
+    ):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.transport = transport
+        self.registry = registry
+        self.queue_size = queue_size
+        self.policy = policy
+        self._items: deque[_QueuedLine] = deque()
+        self._wakeup = asyncio.Event()
+        self._closing = False
+        self._session: TransportSession | None = None
+        self._reset = False
+        self._task: asyncio.Task | None = None
+
+    def start(self) -> None:
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    def set_endpoint(self, host: str, port: int) -> None:
+        """Point the link at a restarted runtime; the sender reconnects
+        lazily on the next line.
+
+        The old session MUST be abandoned even if it still looks
+        writable: TCP happily accepts writes into a dead peer's buffer,
+        so without the reset flag post-restart traffic would drain into
+        the zombie of the crashed runtime without a single error."""
+        self.host = host
+        self.port = port
+        self._reset = True
+
+    @property
+    def depth(self) -> int:
+        """Lines currently queued."""
+        return len(self._items)
+
+    def send(self, line: str, control: bool = False) -> None:
+        """Queue one ingest line (synchronous: called per sentence on the
+        accept path, so it must never await)."""
+        if not control:
+            spec = fault_point("gateway.link")
+            if spec is not None and spec.kind == "drop":
+                self.registry.inc("gateway.link.injected_drops")
+                return
+        self._items.append((line, time.perf_counter(), control))
+        if len(self._items) > self.queue_size:
+            self._shed_oldest()
+        self.registry.set_gauge("gateway.link.depth", len(self._items))
+        self._wakeup.set()
+
+    def _shed_oldest(self) -> None:
+        """Backpressure contract of the ingest tier: shed the *oldest*
+        data line, counted — control lines are never shed."""
+        for index, (_, _, control) in enumerate(self._items):
+            if not control:
+                del self._items[index]
+                self.registry.inc("gateway.link.shed")
+                return
+
+    async def _run(self) -> None:
+        while True:
+            while not self._items:
+                if self._closing:
+                    await self._disconnect()
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            line, enqueued_at, _ = self._items.popleft()
+            self.registry.observe(
+                "gateway.ingest.latency_seconds",
+                time.perf_counter() - enqueued_at,
+            )
+            self.registry.set_gauge("gateway.link.depth", len(self._items))
+            await self._deliver(line)
+
+    async def _deliver(self, line: str) -> None:
+        if self._reset:
+            self._reset = False
+            await self._disconnect()
+        for attempt in range(1, self.policy.max_attempts + 1):
+            try:
+                if self._session is None:
+                    self._session = await self.transport.connect(
+                        self.host, self.port, "ingest"
+                    )
+                await self._session.send(line)
+                self.registry.inc("gateway.link.lines")
+                return
+            except (TransportError, ConnectionError, OSError):
+                await self._disconnect()
+                if attempt < self.policy.max_attempts:
+                    self.registry.inc("gateway.link.reconnects")
+                    await asyncio.sleep(self.policy.delay_for(attempt))
+        # Retry budget spent: the line is lost, and says so.
+        self.registry.inc("gateway.link.lines_dropped")
+
+    async def _disconnect(self) -> None:
+        session, self._session = self._session, None
+        if session is not None:
+            try:
+                await session.close()
+            except (TransportError, ConnectionError, OSError):
+                pass
+
+    async def close(self) -> None:
+        """Flush the queue, then hang up."""
+        self._closing = True
+        self._wakeup.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+
+class GatewayNode:
+    """One ingest listener sharding client traffic across the runtimes."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        transport: Transport,
+        links: list[RuntimeLink],
+        slide_seconds: int,
+        registry: MetricsRegistry | None = None,
+    ):
+        if not links:
+            raise ValueError("a gateway node needs at least one runtime link")
+        if slide_seconds <= 0:
+            raise ValueError(f"slide_seconds must be positive: {slide_seconds}")
+        self.name = name
+        self.host = host
+        self.port = port
+        self.transport = transport
+        self.links = links
+        self.slide_seconds = slide_seconds
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.router = SentenceRouter(len(links), self.registry)
+        self._server: asyncio.AbstractServer | None = None
+        #: First slide boundary not yet watermarked; ``None`` until the
+        #: first sentence fixes the grid.
+        self._next_boundary: int | None = None
+        self._last_time: int | None = None
+        self._drained = False
+        self.open_connections = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    async def start(self) -> None:
+        for link in self.links:
+            link.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=CLIENT_READ_LIMIT
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = await self.transport.accept(reader, writer, "ingest")
+        if session is None:
+            self.registry.inc("gateway.ingest.handshake_failures")
+            writer.close()
+            return
+        self.registry.inc("gateway.ingest.connections")
+        self.open_connections += 1
+        self._idle.clear()
+        try:
+            while True:
+                try:
+                    line = await session.receive()
+                except TransportError:
+                    self.registry.inc("gateway.ingest.protocol_errors")
+                    break
+                if line is None:
+                    break
+                parsed = parse_ingest_line(line, int(time.time()))
+                if parsed is None:
+                    continue
+                self._forward(*parsed)
+        finally:
+            await session.close()
+            self.open_connections -= 1
+            if self.open_connections == 0:
+                self._idle.set()
+
+    def _forward(self, receive_time: int, sentence: str) -> None:
+        """Route one sentence; advance the watermark grid first so every
+        runtime sees the boundary watermark before post-boundary traffic."""
+        index = self.router.route(sentence)
+        self._advance_watermarks(receive_time)
+        self.links[index].send(format_ingest_line(receive_time, sentence))
+        self.registry.inc("gateway.ingest.lines")
+
+    def _advance_watermarks(self, receive_time: int) -> None:
+        slide = self.slide_seconds
+        if self._next_boundary is None:
+            # First sentence: announce this source to every runtime so
+            # quiet shards still learn the cluster has N gateways.
+            self._broadcast(format_watermark(receive_time, self.name))
+            boundary = ((receive_time + slide - 1) // slide) * slide
+            if boundary == receive_time:
+                boundary += slide
+            self._next_boundary = boundary
+        elif receive_time > self._next_boundary:
+            self._broadcast(format_watermark(receive_time, self.name))
+            while self._next_boundary < receive_time:
+                self._next_boundary += slide
+        if self._last_time is None or receive_time > self._last_time:
+            self._last_time = receive_time
+        elif receive_time < self._last_time:
+            # Behind our own watermark: forwarded anyway (the runtime
+            # batches it), but counted — the monotonicity contract of
+            # watermarked ingest was violated upstream.
+            self.registry.inc("gateway.ingest.late_lines")
+
+    def _broadcast(self, watermark_line: str) -> None:
+        self.registry.inc("gateway.watermarks")
+        for link in self.links:
+            link.send(watermark_line, control=True)
+
+    async def drain(self) -> None:
+        """Stop accepting, final-watermark every runtime, flush links.
+
+        Waits for in-flight client connections to hang up first — the
+        final watermark promises no more data from this source, so it
+        must really be last on every link."""
+        if self._drained:
+            return
+        self._drained = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._idle.wait()
+        final_time = self._last_time if self._last_time is not None else 0
+        self._broadcast(format_watermark(final_time, self.name, final=True))
+        for link in self.links:
+            await link.close()
+
+    def snapshot(self) -> dict:
+        """Per-node vitals for the cluster ``/healthz``."""
+        return {
+            "name": self.name,
+            "port": self.port,
+            "last_receive_time": self._last_time,
+            "next_boundary": self._next_boundary,
+            "link_depths": [link.depth for link in self.links],
+            "counters": dict(self.registry.snapshot()["counters"]),
+        }

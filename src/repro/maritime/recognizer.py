@@ -92,12 +92,22 @@ class MaritimeRecognizer:
         spatial_facts: bool = False,
         pairwise: bool = False,
         pairwise_config: PairwiseConfig | None = None,
+        ce_scope: str = "full",
     ):
         self.world = world
         self.config = config or MaritimeConfig()
         self.spatial_facts = spatial_facts
         self.pairwise = pairwise
         self.pairwise_config = pairwise_config or PairwiseConfig()
+        self.ce_scope = ce_scope
+        if ce_scope != "full" and (spatial_facts or pairwise):
+            # Spatial facts feed the aggregate rule-sets and pairwise CEs
+            # span two vessels: neither is MMSI-decomposable, so neither
+            # composes with the vessel scope (docs/GATEWAY.md).
+            raise ValueError(
+                "ce_scope='vessel' excludes spatial_facts and pairwise "
+                "recognition"
+            )
         self.engine = RTEC(window_seconds)
         if spatial_facts:
             rules, computed = build_spatial_fact_rules(
@@ -105,9 +115,14 @@ class MaritimeRecognizer:
             )
         else:
             rules, computed = build_maritime_rules(
-                self.world, specs, self.config, watch_areas
+                self.world, specs, self.config, watch_areas, scope=ce_scope
             )
-        output_fluents = list(OUTPUT_FLUENTS)
+        if ce_scope == "full":
+            output_fluents = list(OUTPUT_FLUENTS)
+        else:
+            # The aggregate fluents are gated out of the rule set; keeping
+            # them declared would only widen every query for nothing.
+            output_fluents = []
         output_events = list(OUTPUT_EVENTS)
         if pairwise:
             rules = list(rules) + build_pairwise_rules()

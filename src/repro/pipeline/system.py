@@ -60,6 +60,7 @@ class SurveillanceSystem:
             spatial_facts=self.config.spatial_facts,
             pairwise=self.config.pairwise,
             pairwise_config=self.config.pairwise_config,
+            ce_scope=self.config.ce_scope,
         )
         self.monitor = (
             PairwiseMonitor(world, self.config.pairwise_config)

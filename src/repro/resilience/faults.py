@@ -12,6 +12,8 @@ normal operation.
 Named sites wired through the tree (see docs/RESILIENCE.md):
 
 =========================  ====================================================
+``gateway.link``           one sentence queued on a gateway→runtime link
+                           (kinds: ``drop`` — the link sheds it, counted)
 ``service.ingest.socket``  one received ingest line (kinds: ``drop`` —
                            severs the connection mid-stream)
 ``service.slide``          one pipeline slide (kinds: ``delay``, ``error``,
@@ -52,6 +54,7 @@ KNOWN_KINDS = ("error", "delay", "drop", "crash", "corrupt", "kill")
 #: in both directions — no undocumented chaos surfaces, no dead entries.
 #: The table in this module's docstring and docs/RESILIENCE.md mirror it.
 SITES: dict[str, tuple[str, ...]] = {
+    "gateway.link": ("drop",),
     "service.ingest.socket": ("drop",),
     "service.slide": ("delay", "error", "crash"),
     "mod.write": ("error",),

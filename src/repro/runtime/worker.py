@@ -72,6 +72,7 @@ class ShardWorker:
             spatial_facts=config.spatial_facts,
             pairwise=config.pairwise,
             pairwise_config=config.pairwise_config,
+            ce_scope=config.ce_scope,
         )
         #: Sequence number of the last applied command.
         self.cursor = -1

@@ -25,6 +25,18 @@ Pipeline slides execute on a worker thread (``run_in_executor``) so the
 event loop keeps reading sockets while a slide is being processed —
 that's what lets the bounded ingest queue shed (with counters) instead of
 the whole service seizing up when producers outrun the pipeline.
+
+**Watermark mode** (``watermark_sources > 0``, docs/GATEWAY.md): when the
+service is one shard of a gateway cluster, arrivals from different
+gateway nodes interleave nondeterministically, so the arrival-driven
+cadence above would smear sentences across slides differently on every
+run.  Instead each gateway emits in-band ``!REPRO,WM,<source>`` watermark
+lines; a slide at query time ``qt`` runs only once *every* source's
+watermark has passed ``qt``, its batch is the pending positions with
+``timestamp <= qt`` sorted by ``(timestamp, mmsi)``, and the slide grid
+itself (first boundary at or after the earliest position) is unchanged —
+which makes the cluster's slide cadence byte-identical to a single
+node's, independent of arrival interleaving.
 """
 
 import asyncio
@@ -35,6 +47,7 @@ from repro import obs
 from repro.ais.scanner import DataScanner
 from repro.pipeline.metrics import SlideReport
 from repro.resilience.faults import InjectedFault, SimulatedCrash, fault_point
+from repro.service.protocol import parse_watermark
 from repro.service.quarantine import REASONS
 
 
@@ -52,6 +65,7 @@ class SlideBatcher:
         journal=None,
         deadletter=None,
         watchdog=None,
+        watermark_sources: int = 0,
     ):
         if slide_seconds <= 0:
             raise ValueError(f"slide must be positive, got {slide_seconds}")
@@ -65,11 +79,19 @@ class SlideBatcher:
         self.journal = journal
         self.deadletter = deadletter
         self.watchdog = watchdog
+        self.watermark_sources = watermark_sources
+        #: Latest watermark timestamp per source (watermark mode only).
+        self._wm_clocks: dict[str, int] = {}
+        self._wm_final: set[str] = set()
+        #: Max over every position and watermark timestamp seen.
+        self._max_ts: int | None = None
         #: Exactly the (receive_time, sentence) pairs handed to the
         #: scanner, post-shedding — the offline-parity replay input.
         self.ingested: list[tuple[int, str]] = []
         self._batch: list = []
         self._query_time: int | None = None
+        #: True once the first slide ran — the grid anchor is then final.
+        self._grid_locked = False
         self.slides_processed = 0
         self.pipeline_errors = 0
         self.replayed_records = 0
@@ -119,6 +141,13 @@ class SlideBatcher:
             # on disk first (under `always` even fsynced; under `batch`
             # the slide-boundary sync below bounds the exposure).
             self.journal.append(receive_time, sentence)
+        watermark = parse_watermark(sentence)
+        if watermark is not None:
+            # Journaled (a replay must rebuild the source clocks) but
+            # never scanned, recorded, or quarantined: watermarks are
+            # control flow, not data.
+            await self._handle_watermark(receive_time, *watermark)
+            return
         if self._record_ingest:
             self.ingested.append((receive_time, sentence))
         position = self._scan(receive_time, sentence)
@@ -127,17 +156,89 @@ class SlideBatcher:
         self._on_position(position)
         arrival = receive_time
         slide = self.slide_seconds
+        if self._max_ts is None or arrival > self._max_ts:
+            self._max_ts = arrival
+        boundary = ((arrival + slide - 1) // slide) * slide
+        if boundary == arrival == 0:
+            boundary = slide
         if self._query_time is None:
             # First boundary at or after the earliest arrival — the
             # StreamReplayer rule, special case included.
-            boundary = ((arrival + slide - 1) // slide) * slide
-            if boundary == arrival == 0:
-                boundary = slide
             self._query_time = boundary
+            if self.watermark_sources > 0:
+                # Watermarks may already be past this fresh boundary.
+                await self._advance_watermarked()
+        elif (
+            self.watermark_sources > 0
+            and not self._grid_locked
+            and boundary < self._query_time
+        ):
+            # A cross-link straggler: another gateway's link delivered a
+            # later position first, so the grid anchored too high.  Until
+            # the first slide runs this is safe to repair — the straggler
+            # source's clock is still at or below its timestamp, so the
+            # watermark barrier cannot have released any slide at or past
+            # this boundary.  The single node anchors at the earliest
+            # timestamp; now this shard does too.
+            self._query_time = boundary
+        if self.watermark_sources > 0:
+            # Watermark mode: arrivals never drive the cadence — slides
+            # run from :meth:`_handle_watermark` once every source has
+            # passed the boundary.
+            self._batch.append(position)
+            return
         while arrival > self._query_time:
             await self._process_slide()
             self._query_time += slide
         self._batch.append(position)
+
+    async def _handle_watermark(
+        self, receive_time: int, source: str, final: bool
+    ) -> None:
+        """Advance one source's clock and run every slide now unblocked."""
+        if self.watermark_sources <= 0:
+            # A legacy (non-clustered) service fed gateway traffic:
+            # counted so the misconfiguration is visible, then ignored —
+            # the arrival-driven cadence needs no watermarks.
+            obs.count("service.ingest.watermarks_ignored")
+            return
+        obs.count("service.ingest.watermarks")
+        known = self._wm_clocks.get(source)
+        if known is None or receive_time > known:
+            self._wm_clocks[source] = receive_time
+        if final:
+            self._wm_final.add(source)
+        if self._max_ts is None or receive_time > self._max_ts:
+            self._max_ts = receive_time
+        await self._advance_watermarked()
+
+    async def _advance_watermarked(self) -> None:
+        """Run slides while every source's watermark has passed the
+        boundary and at least one later timestamp proves the slide grid
+        extends past it (the single-node cadence never runs a trailing
+        slide with nothing after it — drain handles the last one)."""
+        while True:
+            qt = self._query_time
+            if qt is None or len(self._wm_clocks) < self.watermark_sources:
+                return
+            live = [
+                ts
+                for src, ts in self._wm_clocks.items()
+                if src not in self._wm_final
+            ]
+            # A source that sent its final watermark can never hold a
+            # slide back; with every source final the low bound is +inf.
+            if live and min(live) <= qt:
+                return
+            if self._max_ts is None or self._max_ts <= qt:
+                return
+            await self._process_slide()
+            self._query_time = qt + self.slide_seconds
+
+    @property
+    def watermark_clocks(self) -> dict[str, int]:
+        """Last watermark per source (health/diagnostics snapshot)."""
+        return dict(self._wm_clocks)
 
     def _scan(self, receive_time: int, sentence: str):
         """Scan one sentence, quarantining anything the scanner rejects."""
@@ -155,7 +256,20 @@ class SlideBatcher:
 
     async def drain(self) -> None:
         """Flush the last partial slide and run end-of-stream finalize."""
-        if self._batch:
+        if self.watermark_sources > 0:
+            if self._query_time is not None:
+                # The trailing slide runs even when this shard's batch is
+                # empty: every shard must finalize at the same query time
+                # for the fan-in merge to line up, and the single-node
+                # trailing batch is never empty (its max-ts position is
+                # in it).  After final watermarks the batch drains in one
+                # slide; a forced stop mid-stream keeps sliding until
+                # nothing is pending rather than stranding positions.
+                await self._process_slide()
+                while self._batch:
+                    self._query_time += self.slide_seconds
+                    await self._process_slide()
+        elif self._batch:
             await self._process_slide()
         dropped = self.scanner.flush()
         if dropped:
@@ -181,6 +295,7 @@ class SlideBatcher:
         obs.count("service.drain.forced_aborts")
 
     async def _process_slide(self) -> None:
+        self._grid_locked = True
         if self.journal is not None:
             # Slide boundary = the batch-policy durability point: every
             # sentence this slide consumed is on disk before the pipeline
@@ -199,6 +314,18 @@ class SlideBatcher:
             # The in-process stand-in for kill -9: abandon everything.
             raise SimulatedCrash("service.slide", spec.at)
         batch, self._batch = self._batch, []
+        if self.watermark_sources > 0:
+            # Only positions due at this boundary; later ones (already
+            # delivered because another source lagged) wait for their
+            # slide.  The (timestamp, mmsi) sort erases the arrival
+            # interleaving across gateway links — per-vessel order is
+            # already timestamped, so this is a pure determinism step.
+            qt = self._query_time
+            self._batch = [p for p in batch if p.timestamp > qt]
+            batch = sorted(
+                (p for p in batch if p.timestamp <= qt),
+                key=lambda p: (p.timestamp, p.mmsi),
+            )
         if self.watchdog is not None:
             self.watchdog.slide_started(self._query_time)
         report = await self._call_pipeline(

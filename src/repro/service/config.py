@@ -3,6 +3,7 @@
 from dataclasses import dataclass
 
 from repro.resilience.wal import FSYNC_POLICIES
+from repro.transport.registry import DEFAULT_TRANSPORT, available_transports
 
 
 @dataclass(frozen=True)
@@ -22,6 +23,19 @@ class ServiceConfig:
     feed_port: int = 10111
     #: HTTP query/metrics API.
     http_port: int = 10112
+    #: Wire protocol of the ingest listener (``tcp`` | ``websocket`` |
+    #: ``http``; see :mod:`repro.transport`).  The default is
+    #: byte-compatible with the pre-transport newline-over-TCP wire.
+    ingest_transport: str = DEFAULT_TRANSPORT
+    #: Wire protocol of the subscription feed.
+    feed_transport: str = DEFAULT_TRANSPORT
+    #: Upstream watermark sources (gateway nodes).  ``0`` (the default)
+    #: keeps the arrival-driven slide cadence of a single-feed service;
+    #: ``N > 0`` switches the batcher to watermark-aligned slides: it
+    #: advances a slide only once *every* source's watermark has passed
+    #: the boundary, which is what keeps a sharded gateway deployment's
+    #: slide grid byte-identical to a single node's (docs/GATEWAY.md).
+    watermark_sources: int = 0
     #: Sentences buffered between the socket readers and the pipeline;
     #: beyond this the *oldest* buffered sentence is shed (and counted).
     ingest_queue_size: int = 8192
@@ -84,6 +98,18 @@ class ServiceConfig:
             )
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1: {self.shards}")
+        for role, name in (
+            ("ingest_transport", self.ingest_transport),
+            ("feed_transport", self.feed_transport),
+        ):
+            if name not in available_transports():
+                raise ValueError(
+                    f"{role} must be one of {available_transports()}: {name!r}"
+                )
+        if self.watermark_sources < 0:
+            raise ValueError(
+                f"watermark_sources must be >= 0: {self.watermark_sources}"
+            )
         if self.wal_fsync not in FSYNC_POLICIES:
             raise ValueError(
                 f"wal_fsync must be one of {FSYNC_POLICIES}: "

@@ -1,4 +1,4 @@
-"""The subscription feed: newline-delimited JSON, slow consumers evicted.
+"""The subscription feed: one JSON line per slide, slow consumers evicted.
 
 Every completed slide publishes one JSON line (alerts + fresh critical
 points, see :mod:`repro.service.protocol`) to every connected subscriber.
@@ -8,62 +8,81 @@ is too slow — is evicted (connection closed, ``service.feed.evicted``
 incremented) so one stuck client can never stall the pipeline or grow
 memory. The paper's monitor is push-based for exactly this surface:
 "critical points and complex events are emitted as they happen".
+
+Message framing is delegated to a pluggable
+:class:`~repro.transport.base.Transport`: the default newline-over-TCP
+wire is byte-compatible with the pre-transport feed, while WebSocket
+subscribers get one text frame per line and HTTP subscribers a chunked
+``GET /feed`` stream (``ServiceConfig.feed_transport``).
 """
 
 import asyncio
 
 from repro import obs
+from repro.transport.base import Transport, TransportError, TransportSession
+from repro.transport.tcp import CLIENT_READ_LIMIT, TcpTransport
 
 
 class _Subscriber:
     """One connected feed client with its bounded outbound queue."""
 
-    def __init__(self, writer: asyncio.StreamWriter, queue_size: int):
-        self.writer = writer
+    def __init__(self, session: TransportSession, queue_size: int):
+        self.session = session
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
         self.task: asyncio.Task | None = None
         self.evicted = False
 
     async def run(self) -> None:
-        """Drain the queue into the socket until closed or evicted."""
+        """Drain the queue into the transport until closed or evicted."""
         try:
             while True:
                 line = await self.queue.get()
                 if line is None:
                     break
-                self.writer.write(line)
-                await self.writer.drain()
-        except (ConnectionResetError, BrokenPipeError):
+                await self.session.send(line)
+        except (TransportError, ConnectionResetError, BrokenPipeError):
             pass
         finally:
-            self.writer.close()
-            try:
-                await self.writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
+            await self.session.close()
 
 
 class FeedHub:
     """Fan-out of feed lines to all live subscribers."""
 
-    def __init__(self, host: str, port: int, queue_size: int = 256):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        queue_size: int = 256,
+        transport: Transport | None = None,
+    ):
         self.host = host
         self.port = port
         self.queue_size = queue_size
+        self.transport = transport or TcpTransport()
         self._server: asyncio.base_events.Server | None = None
         self._subscribers: set[_Subscriber] = set()
         self.evicted_count = 0
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
-            self._handle, self.host, self.port
+            self._handle, self.host, self.port, limit=CLIENT_READ_LIMIT
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        subscriber = _Subscriber(writer, self.queue_size)
+        session = await self.transport.accept(reader, writer, "feed")
+        if session is None:
+            obs.count("service.feed.handshake_failures")
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            return
+        subscriber = _Subscriber(session, self.queue_size)
         self._subscribers.add(subscriber)
         obs.count("service.feed.subscribers")
         obs.set_gauge("service.feed.active_subscribers", len(self._subscribers))
@@ -79,14 +98,13 @@ class FeedHub:
             )
 
     def publish(self, line: str) -> None:
-        """Queue one line (newline appended) to every subscriber."""
-        payload = (line + "\n").encode()
+        """Queue one line to every subscriber (framing is per-transport)."""
         obs.count("service.feed.published")
         for subscriber in list(self._subscribers):
             if subscriber.evicted:
                 continue
             try:
-                subscriber.queue.put_nowait(payload)
+                subscriber.queue.put_nowait(line)
             except asyncio.QueueFull:
                 self._evict(subscriber)
 

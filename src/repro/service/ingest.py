@@ -1,9 +1,11 @@
-"""TCP ingest: many feed clients, one bounded queue, explicit shedding.
+"""Ingest listener: many feed clients, one bounded queue, explicit shedding.
 
 The listener accepts raw ``!AIVDM`` lines (optionally timestamp-prefixed,
 see :mod:`repro.service.protocol`) from any number of concurrent
 connections and pushes them into one :class:`IngestQueue` shared with the
-slide batcher.  The queue is strictly bounded: when producers outrun the
+slide batcher.  Line framing is delegated to a pluggable
+:class:`~repro.transport.base.Transport` (newline TCP by default,
+WebSocket or HTTP-forward via ``ServiceConfig.ingest_transport``).  The queue is strictly bounded: when producers outrun the
 pipeline the *oldest* buffered sentence is dropped — fresh positions are
 worth more than stale ones for surveillance — and every shed sentence is
 counted in the observability registry (``service.ingest.shed``).  Nothing
@@ -18,6 +20,8 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.resilience.faults import fault_point
 from repro.service.protocol import parse_ingest_line
+from repro.transport.base import Transport, TransportError
+from repro.transport.tcp import CLIENT_READ_LIMIT, TcpTransport
 
 #: One buffered sentence: (receive_time, sentence, enqueue_perf_counter).
 IngestItem = tuple[int, str, float]
@@ -96,17 +100,19 @@ class IngestServer:
         host: str,
         port: int,
         clock=None,
+        transport: Transport | None = None,
     ):
         self.queue = queue
         self.host = host
         self.port = port
         self._clock = clock or (lambda: int(time.time()))
+        self.transport = transport or TcpTransport()
         self._server: asyncio.base_events.Server | None = None
         self.connections: list[ConnectionStats] = []
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
-            self._handle, self.host, self.port
+            self._handle, self.host, self.port, limit=CLIENT_READ_LIMIT
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
@@ -117,13 +123,28 @@ class IngestServer:
         stats = ConnectionStats(peer=str(peername))
         self.connections.append(stats)
         obs.count("service.ingest.connections")
+        session = await self.transport.accept(reader, writer, "ingest")
+        if session is None:
+            # Handshake failure (bad upgrade request, truncated head):
+            # counted so a misconfigured client is visible, then closed.
+            obs.count("service.ingest.handshake_failures")
+            stats.closed = True
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            return
         try:
             while True:
                 try:
-                    raw = await reader.readline()
-                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    line = await session.receive()
+                except TransportError:
+                    # A protocol violation mid-stream is indistinguishable
+                    # from a corrupted link: counted, connection dropped.
+                    obs.count("service.ingest.protocol_errors")
                     break
-                if not raw:
+                if line is None:
                     break
                 spec = fault_point("service.ingest.socket")
                 if spec is not None and spec.kind == "drop":
@@ -133,10 +154,8 @@ class IngestServer:
                     obs.count("service.ingest.injected_drops")
                     break
                 stats.lines += 1
-                stats.bytes += len(raw)
-                parsed = parse_ingest_line(
-                    raw.decode("ascii", errors="replace"), self._clock()
-                )
+                stats.bytes += len(line) + 1
+                parsed = parse_ingest_line(line, self._clock())
                 if parsed is None:
                     # Blank/comment/garbled lines are skipped by design,
                     # but never invisibly: operators distinguish a quiet
@@ -147,11 +166,7 @@ class IngestServer:
                 self.queue.put(*parsed)
         finally:
             stats.closed = True
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
+            await session.close()
 
     async def stop(self) -> None:
         """Stop accepting and close the listening socket."""

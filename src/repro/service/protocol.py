@@ -50,6 +50,33 @@ def format_ingest_line(receive_time: int, sentence: str) -> str:
     return f"{receive_time}\t{sentence}"
 
 
+#: Sentence prefix of an in-band watermark (``!REPRO,WM,<source>[,final]``).
+#: Deliberately ``!``-prefixed so :func:`parse_ingest_line` passes it
+#: through untouched, and deliberately not ``!AIVDM`` so the AIS scanner
+#: would reject it — the batcher intercepts it first (docs/GATEWAY.md).
+WATERMARK_PREFIX = "!REPRO,WM,"
+
+
+def format_watermark(receive_time: int, source: str, final: bool = False) -> str:
+    """One in-band watermark line: the source's clock has reached
+    ``receive_time`` and no earlier sentence will follow from it."""
+    suffix = ",final" if final else ""
+    return format_ingest_line(receive_time, f"{WATERMARK_PREFIX}{source}{suffix}")
+
+
+def parse_watermark(sentence: str) -> tuple[str, bool] | None:
+    """``(source, final)`` if ``sentence`` is a watermark, else ``None``."""
+    if not sentence.startswith(WATERMARK_PREFIX):
+        return None
+    body = sentence[len(WATERMARK_PREFIX):]
+    source, sep, flag = body.partition(",")
+    if not source:
+        return None
+    if sep and flag != "final":
+        return None
+    return source, bool(sep)
+
+
 def alert_to_dict(alert: Alert) -> dict:
     """JSON shape of one recognized complex event."""
     return {
@@ -81,6 +108,19 @@ def _dumps(payload: dict) -> str:
     return json.dumps(payload, separators=(",", ":"), sort_keys=True)
 
 
+def point_sort_key(point: dict) -> tuple:
+    """Canonical order of critical points within one feed line.
+
+    A total order over the serialized dicts: vessels are disjoint across
+    gateway-cluster shards, so sorting each shard's points and the
+    single-node pipeline's points with the same key makes the fan-in
+    merge byte-identical to the single node (docs/GATEWAY.md).  The
+    serialized-dict tiebreaker keeps the key total even for two points of
+    one vessel at the same instant.
+    """
+    return (point["mmsi"], point["timestamp"], _dumps(point))
+
+
 def slide_feed_line(report: SlideReport, kind: str = "slide") -> str:
     """One feed line for a completed slide (or the ``finalize`` flush)."""
     return _dumps({
@@ -90,9 +130,10 @@ def slide_feed_line(report: SlideReport, kind: str = "slide") -> str:
         "movement_events": report.movement_events,
         "recognized": report.recognized_complex_events,
         "alerts": [alert_to_dict(alert) for alert in report.alerts],
-        "critical_points": [
-            point_to_dict(point) for point in report.fresh_points
-        ],
+        "critical_points": sorted(
+            (point_to_dict(point) for point in report.fresh_points),
+            key=point_sort_key,
+        ),
     })
 
 

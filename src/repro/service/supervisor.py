@@ -54,6 +54,7 @@ from repro.service.ingest import IngestQueue, IngestServer
 from repro.service.protocol import slide_feed_line
 from repro.service.quarantine import DeadLetterBuffer
 from repro.service.state import AlertRing, VesselStateStore
+from repro.transport.registry import create_transport
 
 
 def build_system(world, specs, config: SystemConfig, service: ServiceConfig):
@@ -102,12 +103,16 @@ class ServiceSupervisor:
         self.alert_ring = AlertRing(self.service.alert_ring_size)
         self.queue = IngestQueue(self.service.ingest_queue_size)
         self.ingest = IngestServer(
-            self.queue, self.service.host, self.service.ingest_port
+            self.queue,
+            self.service.host,
+            self.service.ingest_port,
+            transport=create_transport(self.service.ingest_transport),
         )
         self.feed = FeedHub(
             self.service.host,
             self.service.feed_port,
             self.service.subscriber_queue_size,
+            transport=create_transport(self.service.feed_transport),
         )
         self.http = HttpApi(self, self.service.host, self.service.http_port)
         self.deadletter = DeadLetterBuffer(self.service.deadletter_capacity)
@@ -124,6 +129,7 @@ class ServiceSupervisor:
             journal=self.journal,
             deadletter=self.deadletter,
             watchdog=self.watchdog,
+            watermark_sources=self.service.watermark_sources,
         )
         #: Journal records replayed from a previous incarnation at start.
         self.recovered_records = (
@@ -315,6 +321,10 @@ class ServiceSupervisor:
             "feed_subscribers": self.feed.subscriber_count,
             "feed_evicted": self.feed.evicted_count,
             "shards": self.service.shards,
+            "transports": {
+                "ingest": self.service.ingest_transport,
+                "feed": self.service.feed_transport,
+            },
             "scanner": {
                 "accepted": self.batcher.scanner.statistics.accepted,
                 "rejected": self.batcher.scanner.statistics.rejected,
@@ -331,6 +341,11 @@ class ServiceSupervisor:
             },
             "ports": self.ports(),
         }
+        if self.service.watermark_sources > 0:
+            payload["watermarks"] = {
+                "sources": self.service.watermark_sources,
+                "clocks": self.batcher.watermark_clocks,
+            }
         if self.journal is not None:
             payload["wal"] = self.journal.snapshot()
         if self.guard is not None:

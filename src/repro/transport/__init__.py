@@ -1,0 +1,38 @@
+"""Pluggable wire protocols for the live service (docs/GATEWAY.md).
+
+The service's two streaming surfaces — ``!AIVDM`` ingest in, JSON feed
+lines out — speak any registered transport: newline TCP (the default,
+byte-compatible with the pre-transport wire), RFC 6455 WebSocket text
+frames, or HTTP-forward (POST batches in, chunked streaming out).
+All three are stdlib-only and pass one shared conformance suite.
+"""
+
+from repro.transport.base import (
+    MODES,
+    Transport,
+    TransportError,
+    TransportSession,
+)
+from repro.transport.httpforward import HttpForwardTransport
+from repro.transport.registry import (
+    DEFAULT_TRANSPORT,
+    available_transports,
+    create_transport,
+    register,
+)
+from repro.transport.tcp import TcpTransport
+from repro.transport.websocket import WebSocketTransport
+
+__all__ = [
+    "MODES",
+    "DEFAULT_TRANSPORT",
+    "HttpForwardTransport",
+    "TcpTransport",
+    "Transport",
+    "TransportError",
+    "TransportSession",
+    "WebSocketTransport",
+    "available_transports",
+    "create_transport",
+    "register",
+]

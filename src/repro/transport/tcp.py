@@ -1,0 +1,69 @@
+"""The default transport: newline-delimited text over a raw TCP stream.
+
+This is exactly the wire format the service spoke before the transport
+layer existed — one message per ``\\n``-terminated line — so the default
+configuration stays byte-compatible with every existing client, test,
+and the ``nc``-style ad-hoc tooling the NMEA world runs on.
+"""
+
+import asyncio
+
+from repro.transport.base import (
+    Transport,
+    TransportError,
+    TransportSession,
+    check_mode,
+)
+
+#: StreamReader limit for sessions we dial ourselves: slide feed lines
+#: carry every fresh critical point and can exceed the 64 KiB default.
+CLIENT_READ_LIMIT = 1 << 24
+
+
+class TcpSession(TransportSession):
+    """One newline-framed text stream."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+
+    async def receive(self) -> str | None:
+        try:
+            raw = await self.reader.readline()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            return None
+        except ValueError as exc:
+            # A line longer than the stream's read limit; the server
+            # decides the limit (asyncio.start_server(limit=...)).
+            raise TransportError(f"line exceeds read limit: {exc}") from exc
+        if not raw:
+            return None
+        return raw.decode("utf-8", errors="replace").rstrip("\r\n")
+
+    async def send(self, text: str) -> None:
+        self.writer.write((text + "\n").encode("utf-8"))
+        await self.writer.drain()
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+class TcpTransport(Transport):
+    """Newline-delimited text over TCP (both directions, no handshake)."""
+
+    name = "tcp"
+
+    async def accept(self, reader, writer, mode: str) -> TransportSession:
+        check_mode(mode)
+        return TcpSession(reader, writer)
+
+    async def connect(self, host: str, port: int, mode: str) -> TransportSession:
+        check_mode(mode)
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=CLIENT_READ_LIMIT
+        )
+        return TcpSession(reader, writer)

@@ -1,0 +1,152 @@
+"""Fan-in units: barrier merge order, dedup, dormancy and reattach."""
+
+import asyncio
+import json
+
+from repro.gateway.fanin import FeedFanIn
+from repro.obs.registry import MetricsRegistry
+
+
+def _line(qt, kind="slide", raw=0):
+    return json.dumps({
+        "type": kind,
+        "query_time": qt,
+        "raw_positions": raw,
+        "movement_events": 0,
+        "recognized": 0,
+        "alerts": [],
+        "critical_points": [],
+    })
+
+
+class ScriptedSession:
+    """A TransportSession double fed from an asyncio queue."""
+
+    def __init__(self, lines=()):
+        self.queue: asyncio.Queue = asyncio.Queue()
+        for item in lines:
+            self.queue.put_nowait(item)
+        self.closed = False
+
+    def push(self, line) -> None:
+        self.queue.put_nowait(line)
+
+    def finish(self) -> None:
+        self.queue.put_nowait(None)
+
+    async def receive(self):
+        return await self.queue.get()
+
+    async def send(self, text: str) -> None:
+        raise AssertionError("fan-in never sends")
+
+    async def close(self) -> None:
+        self.closed = True
+
+
+async def _drain_loop() -> None:
+    # A few scheduler round-trips so reader/merger tasks make progress.
+    for _ in range(20):
+        await asyncio.sleep(0)
+
+
+class TestFeedFanIn:
+    def test_barrier_merge_orders_by_query_time(self):
+        async def run():
+            lines = []
+            fanin = FeedFanIn(lines.append, registry=MetricsRegistry())
+            a = ScriptedSession([_line(60, raw=1), _line(120, raw=1),
+                                 _line(180, "finalize")])
+            b = ScriptedSession([_line(120, raw=2), _line(180, "finalize")])
+            fanin.add_source("a", a)
+            fanin.add_source("b", b)
+            fanin.start()
+            a.finish()
+            b.finish()
+            fanin.begin_close()
+            await asyncio.wait_for(fanin.wait_closed(), 5)
+            return lines
+
+        lines = asyncio.run(run())
+        payloads = [json.loads(line) for line in lines]
+        assert [(p["query_time"], p["type"]) for p in payloads] == [
+            (60, "slide"), (120, "slide"), (180, "finalize"),
+        ]
+        # The 120 line merged both sources' counters.
+        assert payloads[1]["raw_positions"] == 3
+
+    def test_slow_source_blocks_rather_than_reorders(self):
+        async def run():
+            lines = []
+            fanin = FeedFanIn(lines.append, registry=MetricsRegistry())
+            fast = ScriptedSession([_line(60), _line(120)])
+            slow = ScriptedSession()
+            fanin.add_source("fast", fast)
+            fanin.add_source("slow", slow)
+            fanin.start()
+            await _drain_loop()
+            held = list(lines)
+            slow.push(_line(60))
+            slow.push(_line(120))
+            fast.finish()
+            slow.finish()
+            fanin.begin_close()
+            await asyncio.wait_for(fanin.wait_closed(), 5)
+            return held, lines
+
+        held, lines = asyncio.run(run())
+        assert held == []  # nothing emitted while one source was silent
+        assert [json.loads(line)["query_time"] for line in lines] == [60, 120]
+
+    def test_crashed_source_goes_dormant_and_reattach_resumes(self):
+        async def run():
+            lines = []
+            registry = MetricsRegistry()
+            fanin = FeedFanIn(lines.append, registry=registry)
+            steady = ScriptedSession([_line(60)])
+            flaky = ScriptedSession([_line(60)])
+            fanin.add_source("steady", steady)
+            fanin.add_source("flaky", flaky)
+            fanin.start()
+            await _drain_loop()
+            # The flaky runtime dies mid-stream: EOF without begin_close.
+            flaky.finish()
+            steady.push(_line(120))
+            await _drain_loop()
+            down = list(fanin.down_sources)
+            held = len(lines)
+            # Restarted runtime reattaches, replaying its last slide.
+            replacement = ScriptedSession([_line(60), _line(120)])
+            fanin.add_source("flaky", replacement)
+            steady.finish()
+            replacement.finish()
+            fanin.begin_close()
+            await asyncio.wait_for(fanin.wait_closed(), 5)
+            return lines, down, held, registry
+
+        lines, down, held, registry = asyncio.run(run())
+        assert down == ["flaky"]
+        assert held == 1  # only the 60 line made it out pre-crash
+        assert [json.loads(line)["query_time"] for line in lines] == [60, 120]
+        # The replayed 60 line was recognized as a duplicate, not merged.
+        assert registry.counter("gateway.fanin.duplicate_lines").value == 1
+        assert registry.counter("gateway.fanin.source_losses").value == 1
+
+    def test_bad_lines_are_counted_not_fatal(self):
+        async def run():
+            lines = []
+            registry = MetricsRegistry()
+            fanin = FeedFanIn(lines.append, registry=registry)
+            source = ScriptedSession([
+                "not json", json.dumps({"type": "bogus"}), _line(60),
+            ])
+            fanin.add_source("only", source)
+            fanin.start()
+            source.finish()
+            fanin.begin_close()
+            await asyncio.wait_for(fanin.wait_closed(), 5)
+            return lines, registry
+
+        lines, registry = asyncio.run(run())
+        assert [json.loads(line)["query_time"] for line in lines] == [60]
+        assert registry.counter("gateway.fanin.bad_lines").value == 2

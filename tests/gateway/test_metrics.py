@@ -1,0 +1,59 @@
+"""Metrics federation: per-node sections plus an honest cluster sum."""
+
+import re
+
+from repro.gateway.metrics import federate_prometheus
+from repro.obs.registry import MetricsRegistry
+
+#: Prometheus 0.0.4 text exposition: comments or `name{labels} value`.
+_EXPOSITION_LINE = re.compile(
+    r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+)$"
+)
+
+
+def _registries():
+    gw0 = MetricsRegistry()
+    gw0.inc("gateway.ingest.lines", 10)
+    gw0.set_gauge("gateway.link.depth", 3)
+    gw0.observe("gateway.ingest.latency_seconds", 0.01)
+    gw1 = MetricsRegistry()
+    gw1.inc("gateway.ingest.lines", 5)
+    gw1.set_gauge("gateway.link.depth", 2)
+    gw1.observe("gateway.ingest.latency_seconds", 0.02)
+    return {"gw0": gw0, "gw1": gw1}
+
+
+class TestFederatePrometheus:
+    def test_every_line_is_valid_exposition(self):
+        text = federate_prometheus(_registries())
+        for line in text.splitlines():
+            if not line:
+                continue
+            assert _EXPOSITION_LINE.match(line), f"invalid line: {line!r}"
+
+    def test_per_node_sections_and_cluster_sum(self):
+        text = federate_prometheus(_registries())
+        assert "repro_node_gw0_gateway_ingest_lines_total 10" in text
+        assert "repro_node_gw1_gateway_ingest_lines_total 5" in text
+        assert "repro_cluster_gateway_ingest_lines_total 15" in text
+        # Gauges sum too (total queued across the cluster).
+        assert "repro_cluster_gateway_link_depth 5" in text
+
+    def test_quantiles_stay_per_node_only(self):
+        # Quantile summaries do not aggregate; the cluster section must
+        # not pretend they do.
+        text = federate_prometheus(_registries())
+        assert 'repro_node_gw0_gateway_ingest_latency_seconds{quantile' in text
+        assert 'repro_cluster_gateway_ingest_latency_seconds{' not in text
+
+    def test_node_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        text = federate_prometheus({"gw-0.east": registry})
+        assert "repro_node_gw_0_east_x_total 1" in text
+
+    def test_deterministic_ordering(self):
+        assert federate_prometheus(_registries()) == federate_prometheus(
+            _registries()
+        )

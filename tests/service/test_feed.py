@@ -17,7 +17,7 @@ class TestEvictionAccounting:
         async def scenario():
             with obs.activate(obs.MetricsRegistry()) as registry:
                 hub = FeedHub("127.0.0.1", 0, queue_size=4)
-                subscriber = _Subscriber(writer=None, queue_size=4)
+                subscriber = _Subscriber(session=None, queue_size=4)
                 hub._subscribers.add(subscriber)
                 for index in range(4):
                     subscriber.queue.put_nowait(f"line{index}\n".encode())
@@ -39,7 +39,7 @@ class TestEvictionAccounting:
         async def scenario():
             with obs.activate(obs.MetricsRegistry()) as registry:
                 hub = FeedHub("127.0.0.1", 0, queue_size=1)
-                subscriber = _Subscriber(writer=None, queue_size=1)
+                subscriber = _Subscriber(session=None, queue_size=1)
                 hub._subscribers.add(subscriber)
                 hub.publish("fits")
                 hub.publish("overflows")
@@ -62,7 +62,7 @@ class TestCloseAwaitsWriters:
         mid-way through closing its socket."""
         async def scenario():
             hub = FeedHub("127.0.0.1", 0, queue_size=1)
-            subscriber = _Subscriber(writer=None, queue_size=1)
+            subscriber = _Subscriber(session=None, queue_size=1)
             hub._subscribers.add(subscriber)
             subscriber.queue.put_nowait(b"stuck\n")  # queue now full
             finished = asyncio.Event()
@@ -84,7 +84,7 @@ class TestCloseAwaitsWriters:
     def test_close_awaits_healthy_subscriber_task(self):
         async def scenario():
             hub = FeedHub("127.0.0.1", 0, queue_size=4)
-            subscriber = _Subscriber(writer=None, queue_size=4)
+            subscriber = _Subscriber(session=None, queue_size=4)
             hub._subscribers.add(subscriber)
             finished = asyncio.Event()
 

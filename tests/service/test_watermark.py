@@ -1,0 +1,213 @@
+"""Watermark-mode batching units: the cadence contract that makes a
+gateway-cluster shard's slides byte-identical to a single node's.
+
+The cluster parity test (tests/gateway/test_cluster.py) proves the end
+result; these tests pin the individual rules — barrier advancement,
+final-watermark exemption, batch partition and sort, the empty trailing
+drain slide — so a regression names the broken rule, not just "bytes
+differ somewhere"."""
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.ais import PositionReport, encode_position_report, wrap_aivdm
+from repro.service.batcher import SlideBatcher
+from repro.service.ingest import IngestQueue
+from repro.service.protocol import (
+    WATERMARK_PREFIX,
+    format_watermark,
+    parse_watermark,
+)
+
+
+def _sentence(mmsi: int) -> str:
+    payload, fill = encode_position_report(PositionReport(
+        message_type=1,
+        mmsi=mmsi,
+        lon=23.5,
+        lat=37.9,
+        speed_knots=10.0,
+        course_degrees=90.0,
+        second_of_minute=0,
+    ))
+    return wrap_aivdm(payload, fill)
+
+
+def _wm(source: str, final: bool = False) -> str:
+    return f"{WATERMARK_PREFIX}{source},final" if final else (
+        f"{WATERMARK_PREFIX}{source}"
+    )
+
+
+class FakeSystem:
+    """Records every pipeline call the batcher makes."""
+
+    def __init__(self):
+        self.calls = []
+
+    def process_slide(self, batch, query_time):
+        self.calls.append(
+            (query_time, [(p.timestamp, p.mmsi) for p in batch])
+        )
+        return None
+
+    def finalize(self):
+        self.calls.append(("finalize", None))
+        return None
+
+
+async def _drive(lines, watermark_sources=2, drain=False):
+    """Feed ``(receive_time, sentence)`` lines through a fresh batcher."""
+    queue = IngestQueue(capacity=10_000)
+    system = FakeSystem()
+    batcher = SlideBatcher(
+        system, queue, slide_seconds=60,
+        watermark_sources=watermark_sources,
+    )
+    for receive_time, sentence in lines:
+        queue.put(receive_time, sentence)
+    queue.close()
+    await batcher.run()
+    if drain:
+        await batcher.drain()
+    return system, batcher
+
+
+class TestWatermarkProtocol:
+    def test_roundtrip(self):
+        line = format_watermark(7200, "gw0")
+        assert line == "7200\t!REPRO,WM,gw0"
+        assert parse_watermark(line.split("\t")[1]) == ("gw0", False)
+
+    def test_final_flag(self):
+        line = format_watermark(7200, "gw1", final=True)
+        assert parse_watermark(line.split("\t")[1]) == ("gw1", True)
+
+    def test_non_watermarks_and_malformed_are_none(self):
+        assert parse_watermark("!AIVDM,1,1,,A,x,0*00") is None
+        assert parse_watermark(WATERMARK_PREFIX) is None  # no source
+        assert parse_watermark(f"{WATERMARK_PREFIX}gw0,bogus") is None
+
+
+class TestWatermarkCadence:
+    def test_slide_waits_for_every_source(self):
+        held, _ = asyncio.run(_drive([
+            (10, _sentence(111)),
+            (70, _wm("gw0")),
+        ]))
+        assert held.calls == []  # gw1 has not reported: the slide holds
+
+        released, _ = asyncio.run(_drive([
+            (10, _sentence(111)),
+            (70, _wm("gw0")),
+            (70, _wm("gw1")),
+        ]))
+        assert released.calls == [(60, [(10, 111)])]
+
+    def test_intermediate_empty_slides_run(self):
+        # Watermarks far past the data release every boundary the single
+        # node would run, empty ones included (windows must still slide).
+        system, _ = asyncio.run(_drive([
+            (10, _sentence(111)),
+            (200, _wm("gw0")),
+            (200, _wm("gw1")),
+        ]))
+        assert system.calls == [(60, [(10, 111)]), (120, []), (180, [])]
+
+    def test_final_watermark_exempts_its_source(self):
+        # gw0 said goodbye at 50; its stale clock must not hold slides
+        # back while gw1 keeps advancing.
+        system, _ = asyncio.run(_drive([
+            (10, _sentence(111)),
+            (50, _wm("gw0", final=True)),
+            (130, _wm("gw1")),
+        ]))
+        assert [qt for qt, _ in system.calls] == [60, 120]
+
+    def test_batch_partition_and_deterministic_sort(self):
+        # Arrival interleaving across gateway links is erased: each slide
+        # takes only positions due at its boundary, sorted by
+        # (timestamp, mmsi).
+        system, _ = asyncio.run(_drive([
+            (70, _sentence(300)),
+            (10, _sentence(111)),
+            (70, _sentence(100)),
+            (200, _wm("gw0")),
+            (200, _wm("gw1")),
+        ]))
+        assert system.calls == [
+            (60, [(10, 111)]),
+            (120, [(70, 100), (70, 300)]),
+            (180, []),
+        ]
+
+    def test_watermark_clocks_snapshot_is_monotonic(self):
+        async def run():
+            with obs.activate(obs.MetricsRegistry()) as registry:
+                _, batcher = await _drive([
+                    (100, _wm("gw0")),
+                    (90, _wm("gw1")),
+                    (50, _wm("gw0")),  # stale: must not regress the clock
+                ])
+                return batcher, registry
+
+        batcher, registry = asyncio.run(run())
+        assert batcher.watermark_clocks == {"gw0": 100, "gw1": 90}
+        assert registry.counter("service.ingest.watermarks").value == 3
+
+    def test_drain_runs_the_trailing_slide_even_empty(self):
+        # Every shard must finalize at the same query time for the fan-in
+        # merge to line up, so the trailing drain slide runs with an
+        # empty batch too.
+        system, _ = asyncio.run(_drive([
+            (10, _sentence(111)),
+            (70, _wm("gw0")),
+            (70, _wm("gw1")),
+        ], drain=True))
+        assert system.calls == [
+            (60, [(10, 111)]),
+            (120, []),
+            ("finalize", None),
+        ]
+
+    def test_drain_slides_until_nothing_is_pending(self):
+        # A forced stop mid-stream (no final watermarks, positions past
+        # the last released boundary) keeps sliding rather than
+        # stranding positions.
+        system, _ = asyncio.run(_drive([
+            (10, _sentence(111)),
+            (70, _wm("gw0")),
+            (70, _wm("gw1")),
+            (150, _sentence(222)),
+        ], drain=True))
+        assert system.calls == [
+            (60, [(10, 111)]),
+            (120, []),
+            (180, [(150, 222)]),
+            ("finalize", None),
+        ]
+
+
+class TestLegacyMode:
+    def test_watermarks_are_counted_and_ignored(self):
+        async def run():
+            with obs.activate(obs.MetricsRegistry()) as registry:
+                system, batcher = await _drive([
+                    (10, _sentence(111)),
+                    (70, _wm("gw0")),
+                ], watermark_sources=0)
+                return system, batcher, registry
+
+        system, batcher, registry = asyncio.run(run())
+        # The arrival-driven cadence saw one position, no boundary cross.
+        assert system.calls == []
+        assert batcher.watermark_clocks == {}
+        assert (
+            registry.counter("service.ingest.watermarks_ignored").value == 1
+        )
+
+    def test_rejects_watermark_mode_without_sources(self):
+        with pytest.raises(ValueError):
+            SlideBatcher(FakeSystem(), IngestQueue(10), slide_seconds=0)

@@ -1,0 +1,183 @@
+"""HTTP-forward specifics: POST batching, the retry budget, request
+validation, and chunked-stream reassembly on the feed side."""
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.resilience.retry import BackoffPolicy
+from repro.transport.base import TransportError
+from repro.transport.httpforward import (
+    MAX_BODY_BYTES,
+    HttpForwardTransport,
+)
+from repro.transport.tcp import CLIENT_READ_LIMIT
+
+FAST_RETRY = BackoffPolicy(
+    initial_seconds=0.001, multiplier=1.0, max_seconds=0.001, max_attempts=3
+)
+
+
+async def _ingest_server(transport, received, errors):
+    async def handle(reader, writer):
+        session = await transport.accept(reader, writer, "ingest")
+        try:
+            while True:
+                line = await session.receive()
+                if line is None:
+                    break
+                received.append(line)
+        except TransportError as exc:
+            errors.append(exc)
+        finally:
+            await session.close()
+
+    server = await asyncio.start_server(
+        handle, "127.0.0.1", 0, limit=CLIENT_READ_LIMIT
+    )
+    return server, server.sockets[0].getsockname()[1]
+
+
+async def _poll(predicate, timeout: float = 5.0) -> None:
+    for _ in range(int(timeout / 0.005)):
+        if predicate():
+            return
+        await asyncio.sleep(0.005)
+    assert predicate(), "poll timed out"
+
+
+class TestIngestBatching:
+    def test_lines_flush_per_batch_and_on_close(self):
+        async def run():
+            transport = HttpForwardTransport(batch_lines=3)
+            received: list[str] = []
+            server, port = await _ingest_server(transport, received, [])
+            client = await transport.connect("127.0.0.1", port, "ingest")
+            for index in range(7):
+                await client.send(f"line-{index}")
+            # Two full batches are on the wire; the seventh line is still
+            # buffered client-side until close() flushes it.
+            await _poll(lambda: len(received) == 6)
+            await client.close()
+            await _poll(lambda: len(received) == 7)
+            server.close()
+            await server.wait_closed()
+            return received
+
+        assert asyncio.run(run()) == [f"line-{i}" for i in range(7)]
+
+    def test_retry_budget_spent_drops_the_batch_counted(self):
+        async def run():
+            # A port that was listening and is not any more.
+            probe = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+
+            transport = HttpForwardTransport(batch_lines=2, policy=FAST_RETRY)
+            with obs.activate(obs.MetricsRegistry()) as registry:
+                client = await transport.connect("127.0.0.1", port, "ingest")
+                client._buffer = ["a", "b"]
+                with pytest.raises(TransportError, match="dropped"):
+                    await client.flush()
+                return registry
+
+        registry = asyncio.run(run())
+        assert registry.counter("transport.http.post_attempts").value == 3
+        assert registry.counter("transport.http.post_retries").value == 2
+        assert registry.counter("transport.http.batches_dropped").value == 1
+        assert registry.counter("transport.http.lines_dropped").value == 2
+
+    def test_non_post_gets_405_and_the_connection_survives(self):
+        async def run():
+            transport = HttpForwardTransport()
+            received: list[str] = []
+            server, port = await _ingest_server(transport, received, [])
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"GET /ingest HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+            await writer.drain()
+            status = (await reader.readline()).decode("ascii")
+            assert " 405 " in status
+            await reader.readuntil(b"\r\n\r\n")
+            # Same connection, a proper POST: still accepted.
+            body = b"recovered\n"
+            writer.write(
+                b"POST /ingest HTTP/1.1\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
+                + body
+            )
+            await writer.drain()
+            await _poll(lambda: received == ["recovered"])
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return received
+
+        assert asyncio.run(run()) == ["recovered"]
+
+    def test_oversized_body_is_a_protocol_error(self):
+        async def run():
+            transport = HttpForwardTransport()
+            errors: list = []
+            server, port = await _ingest_server(transport, [], errors)
+            _, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                b"POST /ingest HTTP/1.1\r\n"
+                + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode(
+                    "ascii"
+                )
+            )
+            await writer.drain()
+            await _poll(lambda: len(errors) == 1)
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return errors
+
+        (error,) = asyncio.run(run())
+        assert "too large" in str(error)
+
+
+class TestFeedChunking:
+    def test_lines_reassemble_across_chunk_boundaries(self):
+        """The client must tolerate any chunking of the line stream: a
+        line split across chunks, and two lines packed into one chunk."""
+
+        async def run():
+            async def handle(reader, writer):
+                await reader.readuntil(b"\r\n\r\n")
+                writer.write(
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Transfer-Encoding: chunked\r\n\r\n"
+                )
+
+                def chunk(data: bytes) -> bytes:
+                    return f"{len(data):x}\r\n".encode() + data + b"\r\n"
+
+                writer.write(chunk(b"first-ha"))
+                writer.write(chunk(b"lf\nsecond\nthi"))
+                writer.write(chunk(b"rd\n"))
+                writer.write(b"0\r\n\r\n")
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = await HttpForwardTransport().connect(
+                "127.0.0.1", port, "feed"
+            )
+            lines = []
+            while True:
+                line = await client.receive()
+                if line is None:
+                    break
+                lines.append(line)
+            await client.close()
+            server.close()
+            await server.wait_closed()
+            return lines
+
+        assert asyncio.run(run()) == ["first-half", "second", "third"]
