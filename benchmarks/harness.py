@@ -596,6 +596,201 @@ def run_gateway_benchmark(
     }
 
 
+def run_partition_drill(
+    fleet_size: int = 60,
+    duration: int = 8 * 3600,
+    window: WindowSpec | None = None,
+    gateways: int = 2,
+    runtimes: int = 2,
+) -> dict:
+    """Closed-loop self-healing under a seeded network partition.
+
+    The ``self_healing`` section of ``BENCH_pipeline.json`` (see
+    docs/RESILIENCE.md).  A gateway cluster runs on the ``chaos+tcp``
+    transport; mid-stream the drill severs every gateway→runtime0 ingest
+    path at the session layer (:func:`repro.transport.chaosnet.sever`)
+    and lets the :class:`~repro.gateway.health.ClusterSupervisor` close
+    the loop unaided: heartbeats keep the failure detectors fed, the
+    ``down`` verdict triggers a supervised crash+restart, and the
+    restarted runtime's fresh ephemeral port escapes the partition.  A
+    :class:`~repro.service.feedclient.ResumableFeedReader` subscribed to
+    the merged feed is forcibly evicted during the incident and must
+    come back through the ``RESUME`` handshake.
+
+    The drill *asserts* its own acceptance criteria — the faulted run's
+    merged feed and the resumed subscriber's stream must both be
+    byte-identical to an undisturbed oracle run, with zero ring-evicted
+    gap lines — and records the measured detection and failover
+    latency (MTTR evidence).
+    """
+    import asyncio
+    import contextlib
+    import tempfile
+
+    from repro.ais import encode_position_report, wrap_aivdm
+    from repro.ais.messages import PositionReport
+    from repro.gateway import GatewayCluster, GatewayClusterConfig
+    from repro.service import ResumableFeedReader
+    from repro.transport import chaosnet
+
+    window = window or WindowSpec.of_minutes(120, 30)
+    _, specs, stream = benchmark_fleet(fleet_size, duration)
+    sentences = []
+    for position in stream:
+        payload, fill = encode_position_report(PositionReport(
+            message_type=1,
+            mmsi=position.mmsi,
+            lon=position.lon,
+            lat=position.lat,
+            speed_knots=10.0,
+            course_degrees=90.0,
+            second_of_minute=position.timestamp % 60,
+        ))
+        sentences.append((position.timestamp, wrap_aivdm(payload, fill)))
+    streams = [sentences[g::gateways] for g in range(gateways)]
+    midpoint = sentences[len(sentences) // 2][0]
+    first = [[p for p in s if p[0] <= midpoint] for s in streams]
+    second = [[p for p in s if p[0] > midpoint] for s in streams]
+
+    async def poll(predicate, timeout: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout
+        while not predicate():
+            if time.monotonic() > deadline:
+                raise TimeoutError("partition drill timed out while polling")
+            await asyncio.sleep(0.005)
+
+    async def quiesce(cluster) -> None:
+        await poll(lambda: all(
+            link.depth == 0 for node in cluster.nodes for link in node.links
+        ))
+        await poll(lambda: all(
+            len(supervisor.queue) == 0
+            for index, supervisor in enumerate(cluster.supervisors)
+            if not cluster.is_crashed(index)
+        ))
+        await asyncio.sleep(0.05)
+
+    async def pump(cluster, halves) -> None:
+        async def one(gateway: int, half) -> None:
+            session = await cluster.connect_ingest(gateway)
+            try:
+                for receive_time, sentence in half:
+                    await session.send(f"{receive_time}\t{sentence}")
+            finally:
+                await session.close()
+
+        await asyncio.gather(*(one(g, h) for g, h in enumerate(halves)))
+
+    async def run(wal_root: str, fault: bool):
+        cluster = GatewayCluster(
+            benchmark_world(),
+            specs,
+            SystemConfig(window=window, ce_scope="vessel"),
+            GatewayClusterConfig(
+                gateways=gateways,
+                runtimes=runtimes,
+                backend_transport="chaos+tcp",
+                link_queue_size=len(sentences) + 1,
+                ingest_queue_size=len(sentences) + 1,
+                wal_root=wal_root,
+                link_down_seconds=0.25,
+            ),
+        )
+        await cluster.start()
+        supervisor = cluster.start_supervisor(run=False)
+        host = cluster.cluster.host
+        hub = cluster.aggregator.hub
+        reader = ResumableFeedReader("tcp", host, hub.port)
+        received: list[str] = []
+
+        async def consume() -> None:
+            async for line in reader.lines():
+                received.append(line)
+
+        consumer = asyncio.ensure_future(consume())
+        try:
+            await poll(lambda: hub.subscriber_count == 1)
+            await pump(cluster, first)
+            await quiesce(cluster)
+
+            detection_ms = failover_ms = 0.0
+            if fault:
+                chaosnet.sever(host, cluster.supervisors[0].ingest.port)
+                # The supervisor closes the loop by itself: heartbeats
+                # feed the detectors, the down verdict triggers a
+                # supervised restart, the fresh port escapes the sever.
+                while not supervisor.incidents:
+                    supervisor.tick()
+                    await supervisor.check_once()
+                    await asyncio.sleep(0.02)
+                incident = supervisor.incidents[0]
+                detection_ms = incident["detection_seconds"] * 1000.0
+                failover_ms = incident["failover_seconds"] * 1000.0
+                # Kick the subscriber mid-incident: it must come back
+                # through the RESUME handshake, not stay connected.
+                for subscriber in list(hub._subscribers):
+                    hub._evict(subscriber)
+                await poll(lambda: hub.subscriber_count == 1)
+
+            await pump(cluster, second)
+            await cluster.drain_and_stop()
+            await poll(
+                lambda: len(received) >= len(cluster.merged_lines),
+                timeout=10.0,
+            )
+        finally:
+            chaosnet.clear_partitions()
+            reader.stop()
+            consumer.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await consumer
+        return cluster, received, reader, supervisor, detection_ms, failover_ms
+
+    with tempfile.TemporaryDirectory(prefix="drill-oracle-") as oracle_root:
+        with obs.activate(obs.MetricsRegistry()):
+            oracle_cluster, oracle_received, _, _, _, _ = asyncio.run(
+                run(oracle_root, fault=False)
+            )
+    oracle_lines = list(oracle_cluster.merged_lines)
+
+    with tempfile.TemporaryDirectory(prefix="drill-fault-") as fault_root:
+        with obs.activate(obs.MetricsRegistry()) as registry:
+            (cluster, received, reader, supervisor,
+             detection_ms, failover_ms) = asyncio.run(
+                run(fault_root, fault=True)
+            )
+            gap_lines = int(
+                registry.counter("service.feed.resume_gap_lines").value
+            )
+
+    byte_identical = cluster.merged_lines == oracle_lines
+    subscriber_gapless = received == cluster.merged_lines
+    result = {
+        "fleet_size": fleet_size,
+        "duration_seconds": duration,
+        "gateways": gateways,
+        "runtimes": runtimes,
+        "sentences": len(sentences),
+        "merged_lines": len(cluster.merged_lines),
+        "detection_ms": detection_ms,
+        "failover_ms": failover_ms,
+        "mttr_ms": detection_ms + failover_ms,
+        "restarts": supervisor.incidents[0]["restarts"],
+        "incidents": len(supervisor.incidents),
+        "feed_gap_lines": gap_lines,
+        "subscriber_reconnects": reader.reconnects,
+        "subscriber_lines": len(received),
+        "oracle_subscriber_gapless": oracle_received == oracle_lines,
+        "byte_identical": byte_identical,
+        "subscriber_gapless": subscriber_gapless,
+    }
+    if not (byte_identical and subscriber_gapless and gap_lines == 0):
+        raise AssertionError(
+            f"partition drill failed its acceptance criteria: {result}"
+        )
+    return result
+
+
 def run_chaos_benchmark(
     fleet_size: int = FLEET_SIZE,
     duration: int = DURATION_SECONDS,
@@ -862,6 +1057,13 @@ if __name__ == "__main__":
                              "steady-state overhead (service bench with vs "
                              "without the ingest journal, fsync=batch) and "
                              "journal recovery time")
+    parser.add_argument("--partition-drill", action="store_true",
+                        help="also run the self-healing drill: sever one "
+                             "gateway->runtime path mid-stream on the "
+                             "chaos+tcp transport, let the cluster "
+                             "supervisor detect and fail over, and assert "
+                             "the resumed merged feed is byte-identical "
+                             "to an undisturbed oracle run")
     parser.add_argument("--pairwise", action="store_true",
                         help="also replay the rendezvous fixture in a mixed "
                              "fleet with pairwise CE recognition on and "
@@ -898,6 +1100,10 @@ if __name__ == "__main__":
         )
     if cli.chaos:
         bench_report["chaos"] = run_chaos_benchmark(
+            fleet_size=cli.fleet_size, duration=duration_seconds
+        )
+    if cli.partition_drill:
+        bench_report["self_healing"] = run_partition_drill(
             fleet_size=cli.fleet_size, duration=duration_seconds
         )
     if cli.pairwise:
@@ -958,6 +1164,16 @@ if __name__ == "__main__":
             f"recovery={recovery['replay_seconds']:.2f}s for "
             f"{recovery['journaled_records']} records "
             f"({recovery['replay_records_per_sec']:.0f} rec/s)"
+        )
+    if cli.partition_drill:
+        drill = bench_report["self_healing"]
+        print(
+            f"  self-healing: detection={drill['detection_ms']:.0f}ms "
+            f"failover={drill['failover_ms']:.0f}ms "
+            f"mttr={drill['mttr_ms']:.0f}ms  "
+            f"gap_lines={drill['feed_gap_lines']}  "
+            f"reconnects={drill['subscriber_reconnects']}  "
+            f"byte_identical={drill['byte_identical']}"
         )
     if cli.pairwise:
         pairwise = bench_report["pairwise"]

@@ -16,6 +16,7 @@ Run (against ``python -m repro --serve --port 10110 --vessels 30 --hours 4``)::
     python examples/live_feed.py --port 10110 --subscribe   # also print alerts
     python examples/live_feed.py --port 10110 --rate 5000   # sentences/sec cap
     python examples/live_feed.py --port 10110 --transport websocket
+    python examples/live_feed.py --port 10110 --resume      # survive restarts
 
 The client sends a fraction of type-19 reports split into two-fragment
 sentence groups, exercising the scanner's reassembly path end to end.
@@ -34,7 +35,7 @@ from repro.ais import (
     wrap_aivdm,
     wrap_aivdm_fragments,
 )
-from repro.service import format_ingest_line
+from repro.service import ResumableFeedReader, format_ingest_line
 from repro.transport import create_transport
 
 
@@ -101,6 +102,19 @@ async def stream_sentences(
     return time.perf_counter() - started
 
 
+def _print_alerts(line: str) -> int:
+    """Print one slide's alerts; returns how many there were."""
+    payload = json.loads(line)
+    alerts = payload.get("alerts", [])
+    for alert in alerts:
+        vessel = f" vessel={alert['mmsi']}" if alert.get("mmsi") else ""
+        print(
+            f"  [t={payload['query_time']:>6}] "
+            f"{alert['kind']} @ {alert['area']}{vessel}"
+        )
+    return len(alerts)
+
+
 async def subscribe_feed(
     transport_name: str, host: str, port: int, stop: asyncio.Event
 ) -> int:
@@ -114,20 +128,35 @@ async def subscribe_feed(
             line = await session.receive()
             if line is None:
                 break
-            payload = json.loads(line)
-            for alert in payload.get("alerts", []):
-                alerts_seen += 1
-                vessel = (
-                    f" vessel={alert['mmsi']}" if alert.get("mmsi") else ""
-                )
-                print(
-                    f"  [t={payload['query_time']:>6}] "
-                    f"{alert['kind']} @ {alert['area']}{vessel}"
-                )
+            alerts_seen += _print_alerts(line)
             if stop.is_set():
                 break
     finally:
         await session.close()
+    return alerts_seen
+
+
+async def subscribe_feed_resumable(
+    transport_name: str, host: str, port: int, stop: asyncio.Event
+) -> int:
+    """Like :func:`subscribe_feed`, but survives server restarts: speaks
+    the ``RESUME`` handshake (docs/SERVICE.md), reconnects with seeded
+    backoff, and skips already-seen sequence numbers, so the printed
+    alert stream is gapless and duplicate-free across interruptions."""
+    reader = ResumableFeedReader(transport_name, host, port)
+    alerts_seen = 0
+    try:
+        async for line in reader.lines():
+            alerts_seen += _print_alerts(line)
+            if stop.is_set():
+                break
+    finally:
+        reader.stop()
+    if reader.reconnects:
+        print(
+            f"feed resumed {reader.reconnects} time(s); "
+            f"last sequence {reader.last_seq}"
+        )
     return alerts_seen
 
 
@@ -142,9 +171,10 @@ async def run(args: argparse.Namespace) -> int:
     )
     stop = asyncio.Event()
     subscriber = None
-    if args.subscribe:
+    if args.subscribe or args.resume:
+        subscribe = subscribe_feed_resumable if args.resume else subscribe_feed
         subscriber = asyncio.ensure_future(
-            subscribe_feed(args.transport, args.host, args.port + 1, stop)
+            subscribe(args.transport, args.host, args.port + 1, stop)
         )
         await asyncio.sleep(0.1)  # subscribe before the first slide lands
     seconds = await stream_sentences(
@@ -191,6 +221,11 @@ def main() -> int:
     parser.add_argument("--subscribe", action="store_true",
                         help="also subscribe to the alert feed and print "
                              "alerts as slides complete")
+    parser.add_argument("--resume", action="store_true",
+                        help="like --subscribe, but speak the RESUME "
+                             "handshake and reconnect with backoff so the "
+                             "alert stream survives server restarts "
+                             "gaplessly")
     parser.add_argument("--linger", type=float, default=2.0,
                         help="seconds to keep the feed open after sending")
     return asyncio.run(run(parser.parse_args()))

@@ -13,7 +13,11 @@ This is a project-wide invariant, so the work happens in ``finalize``:
 
 * every string-literal ``fault_point("site")`` call in ``repro.*``
   modules must name a key of ``SITES``;
-* every ``SITES`` key must be referenced by at least one such call.
+* every ``SITES`` key must be referenced by at least one such call;
+* every member of ``UNSEEDED_SITES`` (sites excluded from blind seeded
+  plans, e.g. permanent partitions that would stall a smoke run) must
+  itself be a declared ``SITES`` key — an unseeded entry for a site
+  that does not exist filters nothing.
 
 Both directions need the registry module *and* the call sites in the
 same sweep; when the scan did not include ``repro.resilience.faults``
@@ -37,6 +41,9 @@ REGISTRY_MODULE = "repro.resilience.faults"
 
 #: Name of the registry mapping inside :data:`REGISTRY_MODULE`.
 REGISTRY_NAME = "SITES"
+
+#: Name of the seeded-plan exclusion set inside :data:`REGISTRY_MODULE`.
+UNSEEDED_NAME = "UNSEEDED_SITES"
 
 
 @dataclass(frozen=True)
@@ -62,6 +69,7 @@ class FaultSiteRule(Rule):
     def __init__(self) -> None:
         self._call_sites: list[_Site] = []
         self._registry: dict[str, _Site] = {}
+        self._unseeded: dict[str, _Site] = {}
         self._registry_seen = False
 
     def check_module(self, module: ModuleContext) -> Iterator[Diagnostic]:
@@ -82,20 +90,51 @@ class FaultSiteRule(Rule):
                 targets, value = [node.target], node.value
             else:
                 continue
-            named = any(
-                isinstance(target, ast.Name) and target.id == REGISTRY_NAME
+            names = {
+                target.id
                 for target in targets
-            )
-            if not named or not isinstance(value, ast.Dict):
-                continue
-            for key in value.keys:
-                if isinstance(key, ast.Constant) and isinstance(key.value, str):
-                    self._registry[key.value] = _Site(
-                        site=key.value,
+                if isinstance(target, ast.Name)
+            }
+            if REGISTRY_NAME in names and isinstance(value, ast.Dict):
+                for key in value.keys:
+                    if (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                    ):
+                        self._registry[key.value] = _Site(
+                            site=key.value,
+                            path=module.path,
+                            line=key.lineno,
+                            col=key.col_offset,
+                        )
+            if UNSEEDED_NAME in names:
+                for element in self._set_literal_elements(value):
+                    self._unseeded[element.value] = _Site(
+                        site=element.value,
                         path=module.path,
-                        line=key.lineno,
-                        col=key.col_offset,
+                        line=element.lineno,
+                        col=element.col_offset,
                     )
+
+    @staticmethod
+    def _set_literal_elements(value: ast.expr) -> list[ast.Constant]:
+        """String constants inside ``{…}``, ``frozenset({…})`` or
+        ``frozenset([…])`` — the shapes UNSEEDED_SITES may take."""
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("frozenset", "set")
+            and len(value.args) == 1
+        ):
+            value = value.args[0]
+        if not isinstance(value, (ast.Set, ast.List, ast.Tuple)):
+            return []
+        return [
+            element
+            for element in value.elts
+            if isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ]
 
     def _collect_call_sites(self, module: ModuleContext) -> None:
         aliases = import_aliases(module.tree)
@@ -119,6 +158,19 @@ class FaultSiteRule(Rule):
 
     def finalize(self) -> Iterator[Diagnostic]:
         if self._registry_seen:
+            for site, declared in sorted(self._unseeded.items()):
+                if site not in self._registry:
+                    yield Diagnostic(
+                        path=declared.path,
+                        line=declared.line,
+                        col=declared.col,
+                        rule=self.code,
+                        message=(
+                            f"{UNSEEDED_NAME} entry \"{site}\" is not a "
+                            f"{REGISTRY_NAME} key; an exclusion for an "
+                            f"undeclared site filters nothing"
+                        ),
+                    )
             for call in self._call_sites:
                 if call.site not in self._registry:
                     yield Diagnostic(

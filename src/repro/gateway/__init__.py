@@ -22,6 +22,7 @@ from repro.gateway.aggregator import GatewayAggregator
 from repro.gateway.cluster import GatewayCluster
 from repro.gateway.config import GatewayClusterConfig
 from repro.gateway.fanin import FeedFanIn
+from repro.gateway.health import ClusterSupervisor, LinkFailureDetector
 from repro.gateway.merge import (
     alert_dict_sort_key,
     merge_order_key,
@@ -33,11 +34,13 @@ from repro.gateway.node import GatewayNode, RuntimeLink
 from repro.gateway.routing import SentenceRouter, shard_for_mmsi
 
 __all__ = [
+    "ClusterSupervisor",
     "FeedFanIn",
     "GatewayAggregator",
     "GatewayCluster",
     "GatewayClusterConfig",
     "GatewayNode",
+    "LinkFailureDetector",
     "RuntimeLink",
     "SentenceRouter",
     "alert_dict_sort_key",

@@ -8,8 +8,9 @@ feeds, republishes the merged lines on its own
 endpoints in the same minimal HTTP/1.1 dialect as the per-runtime API
 (:mod:`repro.service.http`):
 
-* ``GET /healthz`` — cluster status (``ok`` / ``degraded``), per-node
-  gateway vitals, per-runtime health, and any dormant feed sources;
+* ``GET /healthz`` — cluster status (``ok`` / ``degraded`` / ``down``),
+  per-node gateway vitals, per-runtime health, and any dormant feed
+  sources;
 * ``GET /metrics`` — the federated Prometheus exposition
   (:func:`repro.gateway.metrics.federate_prometheus`): every node under
   its own prefix plus the cluster-summed section.
@@ -39,16 +40,20 @@ class GatewayAggregator:
         runtime_health: Callable[[], list],
         feed_transport: Transport | None = None,
         subscriber_queue_size: int = 256,
+        feed_replay_ring: int = 4096,
+        supervisor_health: Callable[[], dict | None] | None = None,
     ):
         self.host = host
         self.http_port = http_port
         self.nodes = nodes
         self.runtime_health = runtime_health
+        self.supervisor_health = supervisor_health or (lambda: None)
         self.hub = FeedHub(
             host,
             feed_port,
             queue_size=subscriber_queue_size,
             transport=feed_transport,
+            replay_ring=feed_replay_ring,
         )
         self.fanin = FeedFanIn(self._publish)
         #: Every merged line, in order — the parity tests' ground truth.
@@ -100,23 +105,46 @@ class GatewayAggregator:
     # ------------------------------------------------------------------
 
     def health(self) -> dict:
-        """Cluster status: degraded whenever any runtime is unhealthy or
-        any feed source is dormant."""
+        """Cluster status (``ok|degraded|down``): degraded whenever any
+        runtime is unhealthy, any feed source is dormant, or any
+        gateway→runtime link is not ``up``; down only when *every*
+        runtime is down — a partially-alive cluster still serves."""
         runtimes = self.runtime_health()
         down_feeds = self.fanin.down_sources
-        degraded = down_feeds or any(
-            entry.get("status") != "ok" for entry in runtimes
+        nodes = [node.snapshot() for node in self.nodes]
+        link_trouble = any(
+            link["state"] != "up"
+            for snapshot in nodes
+            for link in snapshot["links"]
         )
-        return {
-            "status": "degraded" if degraded else "ok",
-            "nodes": [node.snapshot() for node in self.nodes],
+        if runtimes and all(
+            entry.get("status") == "down" for entry in runtimes
+        ):
+            status = "down"
+        elif (
+            down_feeds
+            or link_trouble
+            or any(entry.get("status") != "ok" for entry in runtimes)
+        ):
+            status = "degraded"
+        else:
+            status = "ok"
+        payload = {
+            "status": status,
+            "nodes": nodes,
             "runtimes": runtimes,
             "feed": {
                 "down_sources": down_feeds,
                 "merged_lines": len(self.merged_lines),
                 "subscribers": self.hub.subscriber_count,
+                "resumed": self.hub.resumed_count,
+                "next_seq": self.hub.next_seq,
             },
         }
+        supervisor = self.supervisor_health()
+        if supervisor is not None:
+            payload["supervisor"] = supervisor
+        return payload
 
     def metrics_text(self) -> str:
         return federate_prometheus(

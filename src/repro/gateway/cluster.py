@@ -27,6 +27,7 @@ from pathlib import Path
 
 from repro.gateway.aggregator import GatewayAggregator
 from repro.gateway.config import GatewayClusterConfig
+from repro.gateway.health import ClusterSupervisor, LinkFailureDetector
 from repro.gateway.node import GatewayNode, RuntimeLink
 from repro.obs.registry import MetricsRegistry
 from repro.pipeline.config import SystemConfig
@@ -62,6 +63,8 @@ class GatewayCluster:
         ]
         self.nodes: list[GatewayNode] = []
         self.aggregator: GatewayAggregator | None = None
+        #: The self-healing loop, when :meth:`start_supervisor` armed it.
+        self.health_supervisor: ClusterSupervisor | None = None
         self._crashed: set[int] = set()
 
     def _service_config(self, index: int) -> ServiceConfig:
@@ -81,6 +84,7 @@ class GatewayCluster:
             subscriber_queue_size=cfg.subscriber_queue_size,
             wal_dir=wal_dir,
             drain_timeout_seconds=cfg.drain_timeout_seconds,
+            feed_replay_ring=cfg.feed_replay_ring,
         )
 
     # ------------------------------------------------------------------
@@ -102,6 +106,9 @@ class GatewayCluster:
                     create_transport(cfg.backend_transport),
                     registry,
                     queue_size=cfg.link_queue_size,
+                    detector=LinkFailureDetector(
+                        down_after_seconds=cfg.link_down_seconds
+                    ),
                 )
                 for i, supervisor in enumerate(self.supervisors)
             ]
@@ -124,6 +131,8 @@ class GatewayCluster:
             self._runtime_health,
             feed_transport=create_transport(cfg.transport),
             subscriber_queue_size=cfg.subscriber_queue_size,
+            feed_replay_ring=cfg.feed_replay_ring,
+            supervisor_health=self._supervisor_health,
         )
         await self.aggregator.start()
         for index, supervisor in enumerate(self.supervisors):
@@ -145,10 +154,27 @@ class GatewayCluster:
             self.cluster.host, node.port, "ingest"
         )
 
+    def start_supervisor(
+        self, interval_seconds: float = 0.05, run: bool = True
+    ) -> ClusterSupervisor:
+        """Arm the self-healing loop (:mod:`repro.gateway.health`).
+
+        With ``run=False`` the supervisor is created but not scheduled —
+        tests and the partition drill drive ``tick()``/``check_once()``
+        deterministically instead of racing a background task.
+        """
+        supervisor = ClusterSupervisor(self, interval_seconds=interval_seconds)
+        self.health_supervisor = supervisor
+        if run:
+            supervisor.start()
+        return supervisor
+
     async def drain_and_stop(self) -> None:
         """Ordered graceful drain, preserving the merged stream's tail:
         gateways first (final watermarks, flushed links), then runtimes
         (final slide + finalize published), then the fan-in and feeds."""
+        if self.health_supervisor is not None:
+            await self.health_supervisor.stop()
         for node in self.nodes:
             await node.drain()
         if self.aggregator is not None:
@@ -163,6 +189,11 @@ class GatewayCluster:
     # ------------------------------------------------------------------
     # chaos hooks
     # ------------------------------------------------------------------
+
+    def is_crashed(self, index: int) -> bool:
+        """Whether runtime ``index`` is currently down (crashed, not yet
+        restarted)."""
+        return index in self._crashed
 
     async def crash_runtime(self, index: int) -> None:
         """Kill one runtime abruptly: no drain, no finalize.  Its journal
@@ -200,6 +231,11 @@ class GatewayCluster:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+
+    def _supervisor_health(self) -> dict | None:
+        if self.health_supervisor is None:
+            return None
+        return self.health_supervisor.snapshot()
 
     def _runtime_health(self) -> list:
         entries = []

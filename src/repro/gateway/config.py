@@ -35,6 +35,14 @@ class GatewayClusterConfig:
     http_port: int = 0
     #: Lines buffered per merged-feed subscriber before eviction.
     subscriber_queue_size: int = 256
+    #: Published lines the merged feed (and each runtime feed) keeps for
+    #: ``RESUME`` replays — how far back a subscriber can reconnect
+    #: gapless (docs/SERVICE.md).
+    feed_replay_ring: int = 4096
+    #: Unbroken delivery-failure seconds after which a gateway→runtime
+    #: link is declared ``down`` and the cluster supervisor intervenes
+    #: (:mod:`repro.gateway.health`).
+    link_down_seconds: float = 2.0
     #: Root directory for per-runtime write-ahead journals (``None`` = no
     #: durability); runtime ``i`` journals under ``<wal_root>/runtime<i>``
     #: and a restarted runtime replays its own journal.
@@ -67,6 +75,14 @@ class GatewayClusterConfig:
             raise ValueError(
                 f"subscriber_queue_size must be positive: "
                 f"{self.subscriber_queue_size}"
+            )
+        if self.feed_replay_ring <= 0:
+            raise ValueError(
+                f"feed_replay_ring must be positive: {self.feed_replay_ring}"
+            )
+        if self.link_down_seconds <= 0:
+            raise ValueError(
+                f"link_down_seconds must be positive: {self.link_down_seconds}"
             )
         if self.drain_timeout_seconds <= 0:
             raise ValueError(

@@ -17,6 +17,7 @@ import asyncio
 import time
 from collections import deque
 
+from repro.gateway.health import LinkFailureDetector
 from repro.gateway.routing import SentenceRouter
 from repro.obs.registry import MetricsRegistry
 from repro.resilience.faults import fault_point
@@ -29,8 +30,12 @@ from repro.service.protocol import (
 from repro.transport.base import Transport, TransportError, TransportSession
 from repro.transport.tcp import CLIENT_READ_LIMIT
 
-#: Reconnect schedule of a link whose runtime went away (~6 s worst case:
-#: long enough to ride out a runtime restart, short enough for tests).
+#: Re-dial schedule of a link whose runtime went away.  The *delays* are
+#: seeded and capped (0.05 s doubling to a 2 s ceiling); the attempt
+#: budget only applies while the link is draining — a live link re-dials
+#: indefinitely at the capped cadence and lets the failure detector and
+#: cluster supervisor decide the runtime's fate, instead of silently
+#: discarding data after a fixed number of tries.
 LINK_BACKOFF = BackoffPolicy(
     initial_seconds=0.05, multiplier=2.0, max_seconds=2.0, max_attempts=8
 )
@@ -53,6 +58,7 @@ class RuntimeLink:
         registry: MetricsRegistry,
         queue_size: int = 8192,
         policy: BackoffPolicy = LINK_BACKOFF,
+        detector: LinkFailureDetector | None = None,
     ):
         self.name = name
         self.host = host
@@ -61,8 +67,18 @@ class RuntimeLink:
         self.registry = registry
         self.queue_size = queue_size
         self.policy = policy
+        #: Failure detector fed by every delivery attempt; the cluster
+        #: supervisor polls it to classify this link up/suspect/down.
+        self.detector = detector if detector is not None else (
+            LinkFailureDetector()
+        )
+        #: Re-dials attempted over this link's lifetime (also a counter).
+        self.redials = 0
         self._items: deque[_QueuedLine] = deque()
         self._wakeup = asyncio.Event()
+        #: Set to cut a re-dial backoff sleep short (endpoint moved, or
+        #: the link is draining and must stop waiting on a dead runtime).
+        self._redial_wakeup = asyncio.Event()
         self._closing = False
         self._session: TransportSession | None = None
         self._reset = False
@@ -82,6 +98,12 @@ class RuntimeLink:
         self.host = host
         self.port = port
         self._reset = True
+        self._redial_wakeup.set()
+
+    @property
+    def state(self) -> str:
+        """This link's detector state (``up`` / ``suspect`` / ``down``)."""
+        return self.detector.state()
 
     @property
     def depth(self) -> int:
@@ -128,25 +150,52 @@ class RuntimeLink:
             await self._deliver(line)
 
     async def _deliver(self, line: str) -> None:
-        if self._reset:
-            self._reset = False
-            await self._disconnect()
-        for attempt in range(1, self.policy.max_attempts + 1):
+        """Deliver one line, re-dialing with capped backoff until it lands.
+
+        A live link never gives a line up: delivery failures feed the
+        detector, the backoff delay is capped at the policy ceiling, and
+        data loss happens only through the bounded queue's counted
+        shed-oldest.  Only while the link is *draining* does the attempt
+        budget apply — a dead runtime must not hang shutdown forever."""
+        attempt = 0
+        while True:
+            if self._reset:
+                self._reset = False
+                await self._disconnect()
             try:
                 if self._session is None:
                     self._session = await self.transport.connect(
                         self.host, self.port, "ingest"
                     )
                 await self._session.send(line)
-                self.registry.inc("gateway.link.lines")
-                return
             except (TransportError, ConnectionError, OSError):
                 await self._disconnect()
-                if attempt < self.policy.max_attempts:
-                    self.registry.inc("gateway.link.reconnects")
-                    await asyncio.sleep(self.policy.delay_for(attempt))
-        # Retry budget spent: the line is lost, and says so.
-        self.registry.inc("gateway.link.lines_dropped")
+                attempt += 1
+                self.detector.record_failure()
+                if self._closing and attempt >= self.policy.max_attempts:
+                    # Drain-time budget spent: the line is lost, and says so.
+                    self.registry.inc("gateway.link.lines_dropped")
+                    return
+                self.redials += 1
+                self.registry.inc("gateway.link.redials")
+                delay = self.policy.delay_for(
+                    min(attempt, self.policy.max_attempts)
+                )
+                try:
+                    # The sleep is interruptible: a supervised restart
+                    # repoints the endpoint mid-backoff and the link
+                    # re-dials immediately instead of serving out the
+                    # remaining delay against a dead address.
+                    await asyncio.wait_for(
+                        self._redial_wakeup.wait(), timeout=delay
+                    )
+                except asyncio.TimeoutError:
+                    pass
+                self._redial_wakeup.clear()
+                continue
+            self.detector.record_success()
+            self.registry.inc("gateway.link.lines")
+            return
 
     async def _disconnect(self) -> None:
         session, self._session = self._session, None
@@ -160,9 +209,20 @@ class RuntimeLink:
         """Flush the queue, then hang up."""
         self._closing = True
         self._wakeup.set()
+        self._redial_wakeup.set()
         if self._task is not None:
             await self._task
             self._task = None
+
+    def snapshot(self) -> dict:
+        """Per-link vitals for the cluster ``/healthz``."""
+        return {
+            "name": self.name,
+            "state": self.state,
+            "depth": self.depth,
+            "redials": self.redials,
+            "consecutive_failures": self.detector.consecutive_failures,
+        }
 
 
 class GatewayNode:
@@ -300,5 +360,6 @@ class GatewayNode:
             "last_receive_time": self._last_time,
             "next_boundary": self._next_boundary,
             "link_depths": [link.depth for link in self.links],
+            "links": [link.snapshot() for link in self.links],
             "counters": dict(self.registry.snapshot()["counters"]),
         }

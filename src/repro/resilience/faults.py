@@ -22,6 +22,15 @@ Named sites wired through the tree (see docs/RESILIENCE.md):
 ``mod.reconstruct``        one trip reconstruction pass (kinds: ``error``)
 ``wal.append``             one WAL record append (kinds: ``corrupt``)
 ``runtime.worker``         one shard worker (kinds: ``kill``)
+``chaosnet.connect``       one chaos-wrapped transport dial (kinds:
+                           ``drop`` — the dial fails with TransportError)
+``chaosnet.send``          one chaos-wrapped outbound message (kinds:
+                           ``drop`` — the send fails, session intact)
+``chaosnet.receive``       one chaos-wrapped inbound read (kinds:
+                           ``drop`` — the read fails, session intact)
+``chaosnet.partition``     one chaos-wrapped dial severs its *endpoint*
+                           (kinds: ``drop``; ``arg`` = seconds until the
+                           partition auto-heals, 0 = until healed by hand)
 =========================  ====================================================
 
 Spec string grammar (``--chaos``)::
@@ -61,6 +70,10 @@ SITES: dict[str, tuple[str, ...]] = {
     "mod.reconstruct": ("error",),
     "wal.append": ("corrupt",),
     "runtime.worker": ("kill",),
+    "chaosnet.connect": ("drop",),
+    "chaosnet.send": ("drop",),
+    "chaosnet.receive": ("drop",),
+    "chaosnet.partition": ("drop",),
 }
 
 #: Kinds safe to draw blindly into a seeded plan: they perturb timing or
@@ -70,16 +83,25 @@ SITES: dict[str, tuple[str, ...]] = {
 #: drills, not blind sampling).
 SEEDABLE_KINDS = ("drop", "delay", "error")
 
+#: Sites excluded from blind seeded plans even though their kinds are
+#: seedable.  ``chaosnet.partition`` without an auto-heal ``arg`` severs
+#: an endpoint *permanently* — fine for a staged drill that heals it,
+#: fatal for a smoke run drawing faults blindly.  RPR003 checks this set
+#: stays a subset of :data:`SITES` so it can never hide dead names.
+UNSEEDED_SITES = frozenset({"chaosnet.partition"})
+
 
 def seedable_sites() -> dict[str, tuple[str, ...]]:
     """The :data:`SITES` subset usable by ``FaultPlan.seeded``.
 
     Sites keep only their :data:`SEEDABLE_KINDS`; sites with none left
-    (``wal.append``, ``runtime.worker``) are omitted entirely.
+    (``wal.append``, ``runtime.worker``) and the explicitly excluded
+    :data:`UNSEEDED_SITES` are omitted entirely.
     """
     filtered = {
         site: tuple(kind for kind in kinds if kind in SEEDABLE_KINDS)
         for site, kinds in SITES.items()
+        if site not in UNSEEDED_SITES
     }
     return {site: kinds for site, kinds in filtered.items() if kinds}
 

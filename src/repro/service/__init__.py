@@ -23,12 +23,17 @@ against, byte for byte.  Wire formats: docs/SERVICE.md.
 from repro.service.batcher import SlideBatcher
 from repro.service.config import ServiceConfig
 from repro.service.feed import FeedHub
+from repro.service.feedclient import ResumableFeedReader
 from repro.service.http import HttpApi
 from repro.service.ingest import IngestQueue, IngestServer
 from repro.service.protocol import (
     alert_to_dict,
     format_ingest_line,
+    format_resume,
+    format_stamped_line,
     parse_ingest_line,
+    parse_resume,
+    parse_stamped_line,
     point_to_dict,
     slide_feed_line,
 )
@@ -44,6 +49,7 @@ __all__ = [
     "HttpApi",
     "IngestQueue",
     "IngestServer",
+    "ResumableFeedReader",
     "ServiceConfig",
     "ServiceSupervisor",
     "SlideBatcher",
@@ -51,8 +57,12 @@ __all__ = [
     "VesselStateStore",
     "alert_to_dict",
     "format_ingest_line",
+    "format_resume",
+    "format_stamped_line",
     "offline_feed_lines",
     "parse_ingest_line",
+    "parse_resume",
+    "parse_stamped_line",
     "point_to_dict",
     "run_service",
     "slide_feed_line",

@@ -47,7 +47,7 @@ from repro import obs
 from repro.ais.scanner import DataScanner
 from repro.pipeline.metrics import SlideReport
 from repro.resilience.faults import InjectedFault, SimulatedCrash, fault_point
-from repro.service.protocol import parse_watermark
+from repro.service.protocol import parse_heartbeat, parse_watermark
 from repro.service.quarantine import REASONS
 
 
@@ -136,6 +136,13 @@ class SlideBatcher:
         self, receive_time: int, sentence: str, journal: bool
     ) -> None:
         """One sentence through journal → scanner → batch → slides."""
+        if parse_heartbeat(sentence) is not None:
+            # A liveness probe from the gateway tier: counted, then
+            # discarded *before* the journal and the watermark clocks —
+            # heartbeats carry no data and must never perturb the slide
+            # cadence or a replay (docs/RESILIENCE.md).
+            obs.count("service.ingest.heartbeats")
+            return
         if journal and self.journal is not None:
             # Journal *before* scanning: anything the pipeline has seen is
             # on disk first (under `always` even fsynced; under `batch`

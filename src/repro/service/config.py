@@ -43,6 +43,10 @@ class ServiceConfig:
     #: that falls this far behind is evicted rather than stalling the
     #: pipeline.
     subscriber_queue_size: int = 256
+    #: Published feed lines kept (with sequence numbers) for ``RESUME``
+    #: replays: how far back an evicted or disconnected subscriber can
+    #: reconnect gapless (docs/SERVICE.md).
+    feed_replay_ring: int = 1024
     #: Recent complex events kept for ``/alerts?since=``.
     alert_ring_size: int = 1024
     #: Worker shards; >1 embeds the process-parallel runtime
@@ -95,6 +99,11 @@ class ServiceConfig:
             raise ValueError(
                 f"subscriber queue must hold at least one line: "
                 f"{self.subscriber_queue_size}"
+            )
+        if self.feed_replay_ring <= 0:
+            raise ValueError(
+                f"feed_replay_ring must hold at least one line: "
+                f"{self.feed_replay_ring}"
             )
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1: {self.shards}")

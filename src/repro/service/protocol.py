@@ -77,6 +77,80 @@ def parse_watermark(sentence: str) -> tuple[str, bool] | None:
     return source, bool(sep)
 
 
+#: Sentence prefix of an in-band heartbeat (``!REPRO,HB,<source>,<seq>``).
+#: Rides the same control-line channel as watermarks: ``!``-prefixed so
+#: :func:`parse_ingest_line` passes it through, intercepted by the
+#: batcher before the scanner.  Heartbeats are pure liveness probes — a
+#: runtime counts and discards them, and they never advance watermark
+#: clocks, so the slide cadence (and the byte-identity contract) is
+#: untouched by however often the supervisor probes.
+HEARTBEAT_PREFIX = "!REPRO,HB,"
+
+
+def format_heartbeat(source: str, seq: int) -> str:
+    """One in-band heartbeat line from ``source`` (timestamp 0: a probe
+    carries no clock — it must never perturb the watermark grid)."""
+    return format_ingest_line(0, f"{HEARTBEAT_PREFIX}{source},{seq}")
+
+
+def parse_heartbeat(sentence: str) -> tuple[str, int] | None:
+    """``(source, seq)`` if ``sentence`` is a heartbeat, else ``None``."""
+    if not sentence.startswith(HEARTBEAT_PREFIX):
+        return None
+    source, sep, seq = sentence[len(HEARTBEAT_PREFIX):].partition(",")
+    if not source or not sep:
+        return None
+    try:
+        return source, int(seq)
+    except ValueError:
+        return None
+
+
+#: First line a feed subscriber may send to opt into the resumable feed:
+#: ``RESUME <last-seq>`` asks the hub to replay every line after
+#: ``last-seq`` still held in its replay ring and to stamp every
+#: subsequent line with its sequence number (``<seq>\\t<payload>``).
+#: ``RESUME 0`` means "nothing seen yet" — replay the whole ring.
+#: Subscribers that send nothing get the classic unstamped feed, byte
+#: for byte (docs/SERVICE.md).
+RESUME_PREFIX = "RESUME "
+
+
+def format_resume(last_seq: int) -> str:
+    """The resume handshake line: ``RESUME <last-seq>``."""
+    if last_seq < 0:
+        raise ValueError(f"last_seq must be >= 0: {last_seq}")
+    return f"{RESUME_PREFIX}{last_seq}"
+
+
+def parse_resume(line: str) -> int | None:
+    """The ``last-seq`` of a ``RESUME`` handshake line, else ``None``."""
+    if not line.startswith(RESUME_PREFIX):
+        return None
+    try:
+        seq = int(line[len(RESUME_PREFIX):])
+    except ValueError:
+        return None
+    return seq if seq >= 0 else None
+
+
+def format_stamped_line(seq: int, payload: str) -> str:
+    """A feed line stamped for resumable subscribers: ``<seq>\\t<payload>``."""
+    return f"{seq}\t{payload}"
+
+
+def parse_stamped_line(line: str) -> tuple[int, str] | None:
+    """``(seq, payload)`` of a stamped feed line, else ``None``."""
+    head, sep, payload = line.partition("\t")
+    if not sep:
+        return None
+    try:
+        seq = int(head)
+    except ValueError:
+        return None
+    return (seq, payload) if seq > 0 else None
+
+
 def alert_to_dict(alert: Alert) -> dict:
     """JSON shape of one recognized complex event."""
     return {

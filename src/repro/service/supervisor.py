@@ -113,6 +113,7 @@ class ServiceSupervisor:
             self.service.feed_port,
             self.service.subscriber_queue_size,
             transport=create_transport(self.service.feed_transport),
+            replay_ring=self.service.feed_replay_ring,
         )
         self.http = HttpApi(self, self.service.host, self.service.http_port)
         self.deadletter = DeadLetterBuffer(self.service.deadletter_capacity)
@@ -307,10 +308,37 @@ class ServiceSupervisor:
     # introspection
     # ------------------------------------------------------------------
 
+    def degraded_reasons(self) -> list[str]:
+        """Why this service is ``degraded`` (empty = fully healthy).
+
+        The service still serves while degraded — these are the "up but
+        impaired" conditions a two-state health check could not express:
+        an open (or probing) MOD breaker, a non-empty spill backlog, or
+        a drain that had to be force-aborted.
+        """
+        reasons = []
+        if self.guard is not None:
+            breaker = self.guard.breaker
+            if breaker.state != "closed":
+                reasons.append(f"mod breaker {breaker.state}")
+            if len(self.guard.spill) > 0:
+                reasons.append(f"spill backlog of {len(self.guard.spill)}")
+        if self.forced_abort:
+            reasons.append("drain force-aborted")
+        return reasons
+
     def health(self) -> dict:
-        """The ``/healthz`` payload."""
+        """The ``/healthz`` payload (``status``: ``ok|degraded|down``)."""
+        reasons = self.degraded_reasons()
+        if self._stopped:
+            status = "down"
+        elif reasons:
+            status = "degraded"
+        else:
+            status = "ok"
         payload = {
-            "status": "draining" if self._stopped else "ok",
+            "status": status,
+            "degraded_reasons": reasons,
             "slides": self.batcher.slides_processed,
             "queue_depth": len(self.queue),
             "ingested": self.queue.put_count,
@@ -320,6 +348,8 @@ class ServiceSupervisor:
             "alerts_last_seq": self.alert_ring.last_seq,
             "feed_subscribers": self.feed.subscriber_count,
             "feed_evicted": self.feed.evicted_count,
+            "feed_resumed": self.feed.resumed_count,
+            "feed_next_seq": self.feed.next_seq,
             "shards": self.service.shards,
             "transports": {
                 "ingest": self.service.ingest_transport,

@@ -4,7 +4,9 @@ The service's two streaming surfaces — ``!AIVDM`` ingest in, JSON feed
 lines out — speak any registered transport: newline TCP (the default,
 byte-compatible with the pre-transport wire), RFC 6455 WebSocket text
 frames, or HTTP-forward (POST batches in, chunked streaming out).
-All three are stdlib-only and pass one shared conformance suite.
+All three are stdlib-only and pass one shared conformance suite; each
+also registers a ``chaos+``-prefixed variant wrapped in deterministic
+network chaos (:mod:`repro.transport.chaosnet`) for partition drills.
 """
 
 from repro.transport.base import (
@@ -13,6 +15,7 @@ from repro.transport.base import (
     TransportError,
     TransportSession,
 )
+from repro.transport.chaosnet import ChaosNetTransport, ChaosProfile
 from repro.transport.httpforward import HttpForwardTransport
 from repro.transport.registry import (
     DEFAULT_TRANSPORT,
@@ -26,6 +29,8 @@ from repro.transport.websocket import WebSocketTransport
 __all__ = [
     "MODES",
     "DEFAULT_TRANSPORT",
+    "ChaosNetTransport",
+    "ChaosProfile",
     "HttpForwardTransport",
     "TcpTransport",
     "Transport",

@@ -23,6 +23,7 @@ round-trip contract as TCP and WebSocket.
 """
 
 import asyncio
+from urllib.parse import urlsplit
 
 from repro import obs
 from repro.resilience.retry import BackoffPolicy
@@ -207,16 +208,35 @@ class HttpIngestClientSession(TransportSession):
 
 
 class HttpFeedServerSession(TransportSession):
-    """Server side of ``GET /feed``: one chunk per feed line, forever."""
+    """Server side of ``GET /feed``: one chunk per feed line, forever.
+
+    The resume handshake rides the request line — ``GET /feed?resume=<n>``
+    sets :attr:`resume_seq`, which the feed hub reads at accept time (the
+    chunked response channel is send-only, so HTTP subscribers cannot
+    send a ``RESUME`` line the way TCP/WebSocket ones do).
+    """
 
     def __init__(self, reader, writer):
         self.reader = reader
         self.writer = writer
+        #: Last sequence number the client saw, from ``?resume=<n>``
+        #: (``None`` = classic unstamped subscription).
+        self.resume_seq: int | None = None
 
     async def start(self) -> bool:
         head = await _read_head(self.reader)
         if head is None or not head[0].upper().startswith("GET"):
             return False
+        target = head[0].split(" ")[1] if " " in head[0] else ""
+        for param in urlsplit(target).query.split("&"):
+            name, sep, value = param.partition("=")
+            if sep and name == "resume":
+                try:
+                    seq = int(value)
+                except ValueError:
+                    continue
+                if seq >= 0:
+                    self.resume_seq = seq
         self.writer.write(
             b"HTTP/1.1 200 OK\r\n"
             b"Content-Type: application/x-ndjson\r\n"
@@ -325,6 +345,14 @@ class HttpForwardTransport(Transport):
         self.policy = policy or BackoffPolicy(
             initial_seconds=0.05, multiplier=2.0, max_seconds=1.0, max_attempts=4
         )
+        self._feed_resume: int | None = None
+
+    def set_feed_resume(self, last_seq: int | None) -> None:
+        """Make the next feed dial ask to resume after ``last_seq``
+        (``GET /feed?resume=<n>``); ``None`` restores plain subscription."""
+        if last_seq is not None and last_seq < 0:
+            raise ValueError(f"last_seq must be >= 0: {last_seq}")
+        self._feed_resume = last_seq
 
     async def accept(self, reader, writer, mode: str):
         check_mode(mode)
@@ -344,9 +372,12 @@ class HttpForwardTransport(Transport):
         reader, writer = await asyncio.open_connection(
             host, port, limit=CLIENT_READ_LIMIT
         )
+        path = "/feed"
+        if self._feed_resume is not None:
+            path = f"/feed?resume={self._feed_resume}"
         writer.write(
             (
-                "GET /feed HTTP/1.1\r\n"
+                f"GET {path} HTTP/1.1\r\n"
                 f"Host: {host}:{port}\r\n"
                 "Accept: application/x-ndjson\r\n\r\n"
             ).encode("ascii")

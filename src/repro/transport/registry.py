@@ -8,6 +8,7 @@ protocol is one flag, not code.
 """
 
 from repro.transport.base import Transport
+from repro.transport.chaosnet import ChaosNetTransport
 from repro.transport.httpforward import HttpForwardTransport
 from repro.transport.tcp import TcpTransport
 from repro.transport.websocket import WebSocketTransport
@@ -16,10 +17,21 @@ from repro.transport.websocket import WebSocketTransport
 #: service (newline-delimited text over TCP).
 DEFAULT_TRANSPORT = "tcp"
 
+
+def _chaos(factory):
+    """A factory for the chaos-wrapped variant of a base transport."""
+    return lambda: ChaosNetTransport(factory())
+
+
 _FACTORIES: dict = {
     TcpTransport.name: TcpTransport,
     WebSocketTransport.name: WebSocketTransport,
     HttpForwardTransport.name: HttpForwardTransport,
+    # Every base wire wrapped in deterministic network chaos
+    # (repro.transport.chaosnet): same protocol, hostile network.
+    "chaos+tcp": _chaos(TcpTransport),
+    "chaos+websocket": _chaos(WebSocketTransport),
+    "chaos+http": _chaos(HttpForwardTransport),
 }
 
 

@@ -1,0 +1,255 @@
+"""Chaosnet specifics: partitions, seeded delays, fault sites, and the
+pass-through contract (an unarmed chaos wrapper must be invisible)."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro import obs
+from repro.resilience import faults
+from repro.resilience.faults import SITES, UNSEEDED_SITES, FaultPlan
+from repro.transport import available_transports, create_transport
+from repro.transport.base import TransportError
+from repro.transport.chaosnet import (
+    ChaosNetTransport,
+    ChaosProfile,
+    clear_partitions,
+    heal,
+    is_severed,
+    sever,
+)
+from repro.transport.httpforward import HttpForwardTransport
+from repro.transport.tcp import CLIENT_READ_LIMIT, TcpTransport
+
+
+@pytest.fixture(autouse=True)
+def clean_network():
+    """Every test starts and ends with an unsevered network."""
+    clear_partitions()
+    yield
+    clear_partitions()
+
+
+async def _collector_server(transport):
+    """An ingest server collecting every received line."""
+    received: list[str] = []
+
+    async def handle(reader, writer):
+        session = await transport.accept(reader, writer, "ingest")
+        if session is None:
+            writer.close()
+            return
+        while True:
+            line = await session.receive()
+            if line is None:
+                break
+            received.append(line)
+        await session.close()
+
+    server = await asyncio.start_server(
+        handle, "127.0.0.1", 0, limit=CLIENT_READ_LIMIT
+    )
+    return server, server.sockets[0].getsockname()[1], received
+
+
+class TestRegistration:
+    def test_chaos_variants_are_registered(self):
+        names = available_transports()
+        for name in ("chaos+tcp", "chaos+websocket", "chaos+http"):
+            assert name in names
+            assert create_transport(name).name == name
+
+    def test_transport_extras_pass_through(self):
+        """chaos+http keeps the HTTP transport's resume extra — the
+        wrapper must not cost a transport any of its surface."""
+        transport = create_transport("chaos+http")
+        transport.set_feed_resume(7)
+        assert transport.inner._feed_resume == 7
+
+    def test_unknown_inner_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            create_transport("chaos+tcp").no_such_extra
+
+
+class TestChaosProfile:
+    def test_same_seed_same_delays(self):
+        a = ChaosProfile(latency_seconds=0.01, jitter_seconds=0.02, seed=42)
+        b = ChaosProfile(latency_seconds=0.01, jitter_seconds=0.02, seed=42)
+        delays = [a.delay_seconds() for _ in range(16)]
+        assert delays == [b.delay_seconds() for _ in range(16)]
+        assert all(0.01 <= d <= 0.03 for d in delays)
+        assert len(set(delays)) > 1, "jitter must actually vary"
+
+    def test_zero_profile_costs_nothing(self):
+        assert ChaosProfile().delay_seconds() == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            ChaosProfile(latency_seconds=-0.1)
+
+    def test_latency_is_applied_per_send(self):
+        async def run():
+            transport = ChaosNetTransport(
+                TcpTransport(), ChaosProfile(latency_seconds=0.02)
+            )
+            server, port, received = await _collector_server(transport)
+            session = await transport.connect("127.0.0.1", port, "ingest")
+            started = time.perf_counter()
+            await session.send("delayed")
+            elapsed = time.perf_counter() - started
+            await session.close()
+            server.close()
+            await server.wait_closed()
+            return elapsed
+
+        assert asyncio.run(run()) >= 0.02
+
+
+class TestPartitions:
+    def test_sever_heal_is_severed(self):
+        sever("10.0.0.1", 4000)
+        assert is_severed("10.0.0.1", 4000)
+        assert not is_severed("10.0.0.1", 4001)
+        heal("10.0.0.1", 4000)
+        assert not is_severed("10.0.0.1", 4000)
+
+    def test_auto_heal_deadline(self):
+        sever("10.0.0.2", 4000, for_seconds=0.02)
+        assert is_severed("10.0.0.2", 4000)
+        time.sleep(0.03)
+        assert not is_severed("10.0.0.2", 4000)
+
+    def test_dial_to_severed_endpoint_fails_counted(self):
+        async def run():
+            with obs.activate(obs.MetricsRegistry()) as registry:
+                sever("127.0.0.1", 1)
+                transport = create_transport("chaos+tcp")
+                with pytest.raises(TransportError, match="partitioned"):
+                    await transport.connect("127.0.0.1", 1, "ingest")
+                return registry.counter("chaosnet.dials_partitioned").value
+
+        assert asyncio.run(run()) == 1
+
+    def test_live_session_blocked_then_healed(self):
+        """A partition bites sends on already-open sessions too, and a
+        heal restores them — the exact path the gateway links redial."""
+        async def run():
+            transport = ChaosNetTransport(TcpTransport())
+            server, port, received = await _collector_server(transport)
+            session = await transport.connect("127.0.0.1", port, "ingest")
+            await session.send("before")
+            sever("127.0.0.1", port)
+            with obs.activate(obs.MetricsRegistry()) as registry:
+                with pytest.raises(TransportError, match="partitioned"):
+                    await session.send("during")
+                blocked = registry.counter("chaosnet.sends_partitioned").value
+            heal("127.0.0.1", port)
+            await session.send("after")
+            await session.close()
+            while len(received) < 2:
+                await asyncio.sleep(0.005)
+            server.close()
+            await server.wait_closed()
+            return received, blocked
+
+        received, blocked = asyncio.run(run())
+        assert received == ["before", "after"]
+        assert blocked == 1
+
+    def test_accepted_sessions_are_not_partition_checked(self):
+        """The partition is enforced at the dialing side; a server-side
+        session keeps flushing what it already holds (a real partition
+        would surface as its peer going quiet, not as local errors)."""
+        async def run():
+            transport = ChaosNetTransport(TcpTransport())
+            server, port, received = await _collector_server(transport)
+            session = await transport.connect("127.0.0.1", port, "ingest")
+            await session.send("in-flight")
+            await session.close()
+            while not received:
+                await asyncio.sleep(0.005)
+            server.close()
+            await server.wait_closed()
+            return received
+
+        assert asyncio.run(run()) == ["in-flight"]
+
+
+class TestFaultSites:
+    def test_injected_dial_failure(self):
+        async def run():
+            transport = ChaosNetTransport(TcpTransport())
+            server, port, _ = await _collector_server(transport)
+            plan = FaultPlan.from_spec("chaosnet.connect:drop@1")
+            with faults.inject(plan):
+                with pytest.raises(TransportError, match="dial"):
+                    await transport.connect("127.0.0.1", port, "ingest")
+                session = await transport.connect("127.0.0.1", port, "ingest")
+            await session.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_injected_send_and_receive_failures(self):
+        async def run():
+            transport = ChaosNetTransport(TcpTransport())
+            server, port, received = await _collector_server(transport)
+            session = await transport.connect("127.0.0.1", port, "ingest")
+            plan = FaultPlan.from_spec("chaosnet.send:drop@1")
+            with faults.inject(plan):
+                with pytest.raises(TransportError, match="send"):
+                    await session.send("dropped")
+                await session.send("retried")
+            plan = FaultPlan.from_spec("chaosnet.receive:drop@1")
+            with faults.inject(plan):
+                with pytest.raises(TransportError, match="receive"):
+                    await session.receive()
+            await session.close()
+            while not received:
+                await asyncio.sleep(0.005)
+            server.close()
+            await server.wait_closed()
+            return received
+
+        assert asyncio.run(run()) == ["retried"]
+
+    def test_partition_site_severs_with_auto_heal(self):
+        """The ``chaosnet.partition`` site turns one dial into a timed
+        partition of that endpoint — how ``--chaos`` stages a drill."""
+        async def run():
+            transport = ChaosNetTransport(TcpTransport())
+            server, port, _ = await _collector_server(transport)
+            plan = FaultPlan.from_spec("chaosnet.partition:drop@1:0.05")
+            with faults.inject(plan):
+                with pytest.raises(TransportError, match="partition"):
+                    await transport.connect("127.0.0.1", port, "ingest")
+                assert is_severed("127.0.0.1", port)
+                # Subsequent dials fail on the partition itself.
+                with pytest.raises(TransportError, match="partitioned"):
+                    await transport.connect("127.0.0.1", port, "ingest")
+            await asyncio.sleep(0.06)
+            assert not is_severed("127.0.0.1", port)
+            session = await transport.connect("127.0.0.1", port, "ingest")
+            await session.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(run())
+
+
+class TestSiteRegistry:
+    def test_chaosnet_sites_are_declared(self):
+        for site in ("chaosnet.connect", "chaosnet.send",
+                     "chaosnet.receive", "chaosnet.partition"):
+            assert site in SITES
+
+    def test_partition_site_is_excluded_from_seeded_plans(self):
+        """A blind seeded plan must never sever an endpoint for good —
+        a permanent partition would stall any smoke run."""
+        assert "chaosnet.partition" in UNSEEDED_SITES
+        assert UNSEEDED_SITES <= SITES.keys()
+        seedable = faults.seedable_sites()
+        assert "chaosnet.partition" not in seedable
+        assert "chaosnet.connect" in seedable

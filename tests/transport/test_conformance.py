@@ -32,6 +32,12 @@ def transport(request):
     return create_transport(request.param)
 
 
+def _base_name(transport) -> str:
+    """The wrapped wire protocol: chaos variants inherit its contract
+    (an unarmed chaos wrapper is a pure pass-through)."""
+    return transport.name.removeprefix("chaos+")
+
+
 async def _serve(handler):
     server = await asyncio.start_server(
         handler, "127.0.0.1", 0, limit=CLIENT_READ_LIMIT
@@ -112,7 +118,7 @@ class TestConformance:
     def test_clean_goodbye_is_eof_not_error(self, transport):
         # A client that connects and hangs up without sending anything is
         # ordinary teardown: the server session sees end-of-stream.
-        if transport.name == "http":
+        if _base_name(transport) == "http":
             pytest.skip("POST-batch ingest dials lazily: no lines, no socket")
         assert asyncio.run(_ingest_roundtrip(transport, [])) == []
 
@@ -126,7 +132,7 @@ class TestConformance:
     def test_garbage_handshake_yields_none_not_crash(self, transport):
         """A non-speaker of the protocol must be turned away as a counted
         handshake failure (``accept`` → ``None``), never an exception."""
-        if transport.name == "tcp":
+        if _base_name(transport) == "tcp":
             pytest.skip("raw TCP has no handshake to fail")
 
         async def run():
@@ -134,7 +140,7 @@ class TestConformance:
             done = asyncio.Event()
 
             async def handle(reader, writer):
-                mode = "feed" if transport.name == "http" else "ingest"
+                mode = "feed" if _base_name(transport) == "http" else "ingest"
                 outcome.append(await transport.accept(reader, writer, mode))
                 writer.close()
                 done.set()

@@ -141,6 +141,118 @@ class TestIngestBatching:
         assert "too large" in str(error)
 
 
+class TestRetryThenRecover:
+    def test_transient_refusal_is_retried_within_budget(self):
+        """One aborted POST must not cost any lines: the batch is retried
+        (counted) and delivered whole once the server behaves."""
+        async def run():
+            transport = HttpForwardTransport(batch_lines=2, policy=FAST_RETRY)
+            received: list[str] = []
+            aborted = []
+
+            async def handle(reader, writer):
+                if not aborted:
+                    # First request: hang up before responding.
+                    aborted.append(True)
+                    await reader.readline()
+                    writer.close()
+                    return
+                session = await transport.accept(reader, writer, "ingest")
+                while True:
+                    line = await session.receive()
+                    if line is None:
+                        break
+                    received.append(line)
+                await session.close()
+
+            server = await asyncio.start_server(
+                handle, "127.0.0.1", 0, limit=CLIENT_READ_LIMIT
+            )
+            port = server.sockets[0].getsockname()[1]
+            with obs.activate(obs.MetricsRegistry()) as registry:
+                client = await transport.connect("127.0.0.1", port, "ingest")
+                await client.send("a")
+                await client.send("b")  # second line flushes the batch
+                await client.close()
+            await _poll(lambda: len(received) == 2)
+            server.close()
+            await server.wait_closed()
+            return received, registry
+
+        received, registry = asyncio.run(run())
+        assert received == ["a", "b"]
+        assert registry.counter("transport.http.post_retries").value == 1
+        assert registry.counter("transport.http.batches_dropped").value == 0
+        assert registry.counter("transport.http.lines_dropped").value == 0
+
+
+class TestFeedResumeQuery:
+    def test_accept_parses_the_resume_parameter(self):
+        async def run():
+            transport = HttpForwardTransport()
+            seqs = []
+            done = asyncio.Event()
+
+            async def handle(reader, writer):
+                session = await transport.accept(reader, writer, "feed")
+                seqs.append(None if session is None else session.resume_seq)
+                if session is not None:
+                    await session.close()
+                done.set()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            for target in ("/feed?resume=5", "/feed", "/feed?resume=junk",
+                           "/feed?resume=-3"):
+                done.clear()
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write(
+                    f"GET {target} HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+                )
+                await writer.drain()
+                await done.wait()
+                writer.close()
+            server.close()
+            await server.wait_closed()
+            return seqs
+
+        # Parsed when valid; garbage and negatives fall back to a
+        # classic unstamped subscription, never an error.
+        assert asyncio.run(run()) == [5, None, None, None]
+
+    def test_set_feed_resume_rides_the_request_line(self):
+        async def run():
+            requests = []
+
+            async def handle(reader, writer):
+                requests.append((await reader.readline()).decode("ascii"))
+                writer.close()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            transport = HttpForwardTransport()
+            transport.set_feed_resume(17)
+            try:
+                session = await transport.connect("127.0.0.1", port, "feed")
+                await session.close()
+            except Exception:
+                pass  # the stub server hangs up; only the request matters
+            await _poll(lambda: requests)
+            server.close()
+            await server.wait_closed()
+            return requests
+
+        assert asyncio.run(run())[0].startswith("GET /feed?resume=17 ")
+
+    def test_set_feed_resume_rejects_negatives(self):
+        transport = HttpForwardTransport()
+        with pytest.raises(ValueError):
+            transport.set_feed_resume(-1)
+        transport.set_feed_resume(None)  # restores plain subscription
+
+
 class TestFeedChunking:
     def test_lines_reassemble_across_chunk_boundaries(self):
         """The client must tolerate any chunking of the line stream: a
